@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"secreta/internal/gen"
+	"secreta/internal/query"
+)
+
+// smallEnv builds a fast experiment environment so every experiment's code
+// path is exercised in tests.
+func smallEnv(t *testing.T) *environment {
+	t.Helper()
+	ds := gen.Census(gen.Config{Records: 120, Items: 16, Seed: 42})
+	hs, err := gen.Hierarchies(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := gen.ItemHierarchy(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := query.Generate(ds, query.GenOptions{Queries: 20, Dims: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qis, err := ds.QIIndices(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &environment{ds: ds, hs: hs, ih: ih, workload: w, qis: qis, records: 120, seed: 42}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	env := smallEnv(t)
+	for _, b := range benches {
+		b := b
+		t.Run(b.id, func(t *testing.T) {
+			if err := b.run(env); err != nil {
+				t.Fatalf("%s: %v", b.id, err)
+			}
+		})
+	}
+}
+
+func TestBenchListCoversE1ToE10(t *testing.T) {
+	if len(benches) != 10 {
+		t.Fatalf("benches = %d, want 10", len(benches))
+	}
+	for i, b := range benches {
+		want := "E" + string(rune('1'+i))
+		if i == 9 {
+			want = "E10"
+		}
+		if b.id != want {
+			t.Errorf("bench %d id = %s, want %s", i, b.id, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"secreta/internal/dataset"
+	"secreta/internal/gen"
+	"secreta/internal/plot"
+	"secreta/internal/policy"
+	"secreta/internal/query"
+)
+
+// cmdGenerate synthesizes the demo RT-dataset.
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	out := fs.String("out", "data.csv", "output CSV path")
+	records := fs.Int("records", 1000, "number of records")
+	items := fs.Int("items", 50, "transaction item domain size (0: relational only)")
+	basket := fs.Int("basket", 6, "maximum basket size")
+	zipf := fs.Float64("zipf", 1.2, "Zipf skew of item popularity (>1)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds := gen.Census(gen.Config{
+		Records: *records, Items: *items, MaxBasket: *basket, ZipfS: *zipf, Seed: *seed,
+	})
+	if err := ds.SaveFile(*out, dataset.Options{}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d relational attributes", ds.Len(), len(ds.Attrs))
+	if ds.HasTransaction() {
+		st := ds.SummarizeTransactions()
+		fmt.Printf(", %d distinct items, avg basket %.1f", st.DistinctItems, st.AvgSize)
+	}
+	fmt.Printf(") to %s\n", *out)
+	return nil
+}
+
+// cmdStats is the Dataset Editor's analysis pane: schema, numeric
+// summaries, histograms.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	trans := fs.String("trans", "", "transaction column name (when not annotated)")
+	attr := fs.String("attr", "", "plot a histogram of this attribute (or the transaction attribute)")
+	top := fs.Int("top", 15, "histogram bars to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data, *trans)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records\n", *data, ds.Len())
+	for i, a := range ds.Attrs {
+		fmt.Printf("  %-12s %-12s %d distinct", a.Name, a.Kind, len(ds.Domain(i)))
+		if a.Kind == dataset.Numeric {
+			if s, err := ds.Summarize(i); err == nil {
+				fmt.Printf("  min=%g max=%g mean=%.2f median=%g", s.Min, s.Max, s.Mean, s.Median)
+			}
+		}
+		fmt.Println()
+	}
+	if ds.HasTransaction() {
+		st := ds.SummarizeTransactions()
+		fmt.Printf("  %-12s %-12s %d distinct items, %d occurrences, basket %d..%d (avg %.1f)\n",
+			ds.TransName, "transaction", st.DistinctItems, st.Occurrences, st.MinSize, st.MaxSize, st.AvgSize)
+	}
+	if *attr == "" {
+		return nil
+	}
+	var freqs []dataset.Frequency
+	if *attr == ds.TransName {
+		freqs = ds.ItemHistogram()
+	} else {
+		i := ds.AttrIndex(*attr)
+		if i < 0 {
+			return fmt.Errorf("no attribute named %q", *attr)
+		}
+		freqs = ds.Histogram(i)
+	}
+	if len(freqs) > *top {
+		freqs = freqs[:*top]
+	}
+	labels := make([]string, len(freqs))
+	values := make([]float64, len(freqs))
+	for i, f := range freqs {
+		labels[i], values[i] = f.Value, float64(f.Count)
+	}
+	chart := plot.NewBar("frequency of "+*attr, *attr, "count", labels, values)
+	fmt.Print(chart.ASCII(78, 14))
+	return nil
+}
+
+// cmdHierarchy derives hierarchies from the data and stores them as
+// path-style CSVs.
+func cmdHierarchy(args []string) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	trans := fs.String("trans", "", "transaction column name (when not annotated)")
+	outDir := fs.String("out", "hierarchies", "output directory")
+	fanout := fs.Int("fanout", 4, "tree fanout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data, *trans)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	hs, err := gen.Hierarchies(ds, *fanout)
+	if err != nil {
+		return err
+	}
+	for name, h := range hs {
+		path := *outDir + "/" + name + ".csv"
+		if err := h.SaveFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s height %d, %d nodes -> %s\n", name, h.Height(), h.Size(), path)
+	}
+	if ds.HasTransaction() {
+		ih, err := gen.ItemHierarchy(ds, *fanout)
+		if err != nil {
+			return err
+		}
+		path := *outDir + "/" + ds.TransName + ".csv"
+		if err := ih.SaveFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s height %d, %d nodes -> %s\n", ds.TransName, ih.Height(), ih.Size(), path)
+	}
+	return nil
+}
+
+// cmdQueries generates a workload file, or with -eval answers an existing
+// workload against the dataset (the Queries Editor's preview).
+func cmdQueries(args []string) error {
+	fs := flag.NewFlagSet("queries", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	trans := fs.String("trans", "", "transaction column name (when not annotated)")
+	out := fs.String("out", "workload.txt", "output workload path")
+	n := fs.Int("n", 100, "number of queries")
+	dims := fs.Int("dims", 2, "relational predicates per query (-1: item-only queries)")
+	items := fs.Int("items", 1, "transaction items per query")
+	frac := fs.Float64("range", 0.2, "numeric range width as a domain fraction")
+	seed := fs.Int64("seed", 1, "random seed")
+	eval := fs.String("eval", "", "evaluate this workload file against the dataset instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data, *trans)
+	if err != nil {
+		return err
+	}
+	if *eval != "" {
+		w, err := query.LoadFile(*eval)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6s  %-50s %8s\n", "#", "query", "count")
+		for i := range w.Queries {
+			c, err := w.Queries[i].CountExact(ds)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%6d  %-50s %8.0f\n", i+1, w.Queries[i].String(), c)
+		}
+		return nil
+	}
+	w, err := query.Generate(ds, query.GenOptions{
+		Queries: *n, Dims: *dims, Items: *items, RangeFrac: *frac, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d queries to %s\n", w.Len(), *out)
+	return nil
+}
+
+// cmdPolicy generates privacy/utility policies (Policy Specification
+// Module strategies).
+func cmdPolicy(args []string) error {
+	fs := flag.NewFlagSet("policy", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV path")
+	trans := fs.String("trans", "", "transaction column name (when not annotated)")
+	privStrategy := fs.String("privacy", "all", "privacy strategy: all | frequent")
+	minsup := fs.Int("minsup", 2, "frequent: minimum support")
+	maxsize := fs.Int("maxsize", 2, "frequent: maximum itemset size")
+	utilStrategy := fs.String("utility", "top", "utility strategy: top | hierarchy | singletons")
+	depth := fs.Int("depth", 1, "hierarchy: constraint depth")
+	fanout := fs.Int("fanout", 4, "hierarchy: tree fanout")
+	privOut := fs.String("privacy-out", "privacy.txt", "privacy policy output path")
+	utilOut := fs.String("utility-out", "utility.txt", "utility policy output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data, *trans)
+	if err != nil {
+		return err
+	}
+	if !ds.HasTransaction() {
+		return fmt.Errorf("dataset has no transaction attribute")
+	}
+	var priv []policy.PrivacyConstraint
+	switch *privStrategy {
+	case "all":
+		priv = policy.PrivacyAllItems(ds)
+	case "frequent":
+		priv = policy.PrivacyFrequent(ds, *minsup, *maxsize)
+	default:
+		return fmt.Errorf("unknown privacy strategy %q", *privStrategy)
+	}
+	var util []policy.UtilityConstraint
+	switch *utilStrategy {
+	case "top":
+		util = policy.UtilityTop(ds)
+	case "singletons":
+		util = policy.UtilitySingletons(ds)
+	case "hierarchy":
+		ih, err := gen.ItemHierarchy(ds, *fanout)
+		if err != nil {
+			return err
+		}
+		util = policy.UtilityFromHierarchy(ih, *depth)
+	default:
+		return fmt.Errorf("unknown utility strategy %q", *utilStrategy)
+	}
+	pol := &policy.Policy{Privacy: priv, Utility: util}
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	pf, err := os.Create(*privOut)
+	if err != nil {
+		return err
+	}
+	if err := policy.WritePrivacy(pf, priv); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	uf, err := os.Create(*utilOut)
+	if err != nil {
+		return err
+	}
+	if err := policy.WriteUtility(uf, util); err != nil {
+		uf.Close()
+		return err
+	}
+	if err := uf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d privacy constraints to %s and %d utility constraints to %s\n",
+		len(priv), *privOut, len(util), *utilOut)
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/engine"
+	"secreta/internal/gen"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/rt"
+)
+
+// loadDataset reads a dataset CSV, detecting kinds when the header carries
+// no annotations and honoring an explicit transaction column name.
+func loadDataset(path, transAttr string) (*dataset.Dataset, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -data flag")
+	}
+	return dataset.LoadFile(path, dataset.Options{TransAttr: transAttr, DetectKinds: true})
+}
+
+// loadHierarchies resolves relational hierarchies: from a directory of
+// per-attribute path CSVs ("<attr>.csv") when hierDir is set, otherwise
+// auto-generated from the data with the given fanout.
+func loadHierarchies(ds *dataset.Dataset, hierDir string, fanout int) (generalize.Set, error) {
+	if hierDir == "" {
+		return gen.Hierarchies(ds, fanout)
+	}
+	out := make(generalize.Set, len(ds.Attrs))
+	for _, a := range ds.Attrs {
+		path := filepath.Join(hierDir, a.Name+".csv")
+		h, err := hierarchy.LoadFile(a.Name, path)
+		if err != nil {
+			return nil, fmt.Errorf("loading hierarchy for %q: %w", a.Name, err)
+		}
+		out[a.Name] = h
+	}
+	return out, nil
+}
+
+// loadItemHierarchy resolves the transaction item hierarchy analogously
+// ("<transattr>.csv" inside hierDir, or auto-generated).
+func loadItemHierarchy(ds *dataset.Dataset, hierDir string, fanout int) (*hierarchy.Hierarchy, error) {
+	if !ds.HasTransaction() {
+		return nil, nil
+	}
+	if hierDir == "" {
+		return gen.ItemHierarchy(ds, fanout)
+	}
+	path := filepath.Join(hierDir, ds.TransName+".csv")
+	if _, err := os.Stat(path); err != nil {
+		return gen.ItemHierarchy(ds, fanout)
+	}
+	return hierarchy.LoadFile(ds.TransName, path)
+}
+
+// parseCombo parses "rel+trans/flavor" (RT mode), "trans" or "rel" single-
+// algorithm strings into configuration pieces.
+func parseCombo(s string) (mode string, rel, trans string, flavor rt.Flavor, err error) {
+	s = strings.TrimSpace(s)
+	flavor = rt.RMerge
+	if body, fl, found := cutLast(s, "/"); found {
+		flavor, err = rt.ParseFlavor(fl)
+		if err != nil {
+			return "", "", "", 0, err
+		}
+		s = body
+	}
+	if r, t, found := strings.Cut(s, "+"); found {
+		return "rt", strings.TrimSpace(r), strings.TrimSpace(t), flavor, nil
+	}
+	lower := strings.ToLower(s)
+	for _, name := range rt.RelationalAlgos {
+		if lower == name {
+			return "relational", lower, "", flavor, nil
+		}
+	}
+	for _, name := range rt.TransactionAlgos {
+		if lower == name {
+			return "transaction", "", lower, flavor, nil
+		}
+	}
+	for _, name := range engine.ExtensionAlgos {
+		if lower == name {
+			return "transaction", "", lower, flavor, nil
+		}
+	}
+	return "", "", "", 0, fmt.Errorf("unknown algorithm %q (relational: %v; transaction: %v; extensions: %v; RT: rel+trans[/flavor])",
+		s, rt.RelationalAlgos, rt.TransactionAlgos, engine.ExtensionAlgos)
+}
+
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

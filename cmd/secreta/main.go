@@ -1,0 +1,63 @@
+// Command secreta is the frontend of the SECRETA reproduction: a CLI whose
+// subcommands mirror the panes and modes of the paper's GUI (Figures 2-4).
+//
+//	generate    synthesize a census-like RT-dataset          (demo data)
+//	stats       inspect a dataset: schema, histograms        (Dataset Editor)
+//	hierarchy   derive and store generalization hierarchies  (Configuration Editor)
+//	queries     generate a COUNT-query workload              (Queries Editor)
+//	policy      generate privacy/utility policies            (Policy Specification)
+//	evaluate    run and evaluate one configuration           (Evaluation mode)
+//	compare     benchmark configurations over a sweep        (Comparison mode)
+//
+// Run "secreta <command> -h" for per-command flags.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+var commands = []command{
+	{"generate", "synthesize a census-like RT-dataset (CSV)", cmdGenerate},
+	{"stats", "inspect a dataset: schema, summaries, histograms", cmdStats},
+	{"hierarchy", "derive generalization hierarchies from data", cmdHierarchy},
+	{"queries", "generate a COUNT-query workload", cmdQueries},
+	{"policy", "generate privacy and utility policies", cmdPolicy},
+	{"evaluate", "run one anonymization configuration (Evaluation mode)", cmdEvaluate},
+	{"compare", "benchmark configurations over a parameter sweep (Comparison mode)", cmdCompare},
+	{"verify", "check k / k^m / (k,k^m) anonymity of a dataset", cmdVerify},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "secreta %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "secreta: unknown command %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: secreta <command> [flags]")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", c.name, c.brief)
+	}
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"secreta/internal/rt"
+)
+
+// withDir runs fn inside a temp directory holding a generated dataset.
+func withDir(t *testing.T, fn func(dir string)) {
+	t.Helper()
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := cmdGenerate([]string{"-out", "data.csv", "-records", "160", "-items", "16", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	fn(dir)
+}
+
+func TestGenerateAndStats(t *testing.T) {
+	withDir(t, func(dir string) {
+		if err := cmdStats([]string{"-data", "data.csv", "-attr", "Gender"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdStats([]string{"-data", "data.csv", "-attr", "Items"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdStats([]string{"-data", "data.csv", "-attr", "Nope"}); err == nil {
+			t.Error("unknown attribute accepted")
+		}
+		if err := cmdStats([]string{"-data", "missing.csv"}); err == nil {
+			t.Error("missing file accepted")
+		}
+	})
+}
+
+func TestHierarchyCommandRoundTrip(t *testing.T) {
+	withDir(t, func(dir string) {
+		if err := cmdHierarchy([]string{"-data", "data.csv", "-out", "h", "-fanout", "3"}); err != nil {
+			t.Fatal(err)
+		}
+		// One file per relational attribute plus the item hierarchy.
+		entries, err := os.ReadDir("h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 6 {
+			t.Errorf("hierarchy files = %d, want 6", len(entries))
+		}
+		// evaluate must accept the stored hierarchies.
+		err = cmdEvaluate([]string{
+			"-data", "data.csv", "-algo", "cluster", "-k", "4",
+			"-hierarchies", "h",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestQueriesAndPolicyCommands(t *testing.T) {
+	withDir(t, func(dir string) {
+		if err := cmdQueries([]string{"-data", "data.csv", "-n", "20", "-out", "w.txt"}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile("w.txt")
+		if err != nil || len(strings.Split(strings.TrimSpace(string(b)), "\n")) != 20 {
+			t.Errorf("workload file: %v", err)
+		}
+		if err := cmdPolicy([]string{"-data", "data.csv", "-privacy", "frequent", "-minsup", "3", "-utility", "hierarchy"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat("privacy.txt"); err != nil {
+			t.Error("privacy.txt not written")
+		}
+		if _, err := os.Stat("utility.txt"); err != nil {
+			t.Error("utility.txt not written")
+		}
+		if err := cmdPolicy([]string{"-data", "data.csv", "-privacy", "bogus"}); err == nil {
+			t.Error("bogus strategy accepted")
+		}
+	})
+}
+
+func TestEvaluateModes(t *testing.T) {
+	withDir(t, func(dir string) {
+		// RT mode with all outputs.
+		err := cmdEvaluate([]string{
+			"-data", "data.csv", "-algo", "cluster+apriori/rmerger",
+			"-k", "4", "-m", "2", "-delta", "0.2",
+			"-out", "anon.csv", "-results", "res.json",
+			"-plot-attr", "Age", "-plot-items", "-plot-phases",
+			"-svg", "chart.svg",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []string{"anon.csv", "res.json", "chart.svg"} {
+			if _, err := os.Stat(f); err != nil {
+				t.Errorf("%s not written", f)
+			}
+		}
+		// Transaction-only mode with a policy.
+		if err := cmdPolicy([]string{"-data", "data.csv"}); err != nil {
+			t.Fatal(err)
+		}
+		err = cmdEvaluate([]string{
+			"-data", "data.csv", "-algo", "coat", "-k", "3",
+			"-privacy", "privacy.txt", "-utility", "utility.txt",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Varying-parameter execution.
+		if err := cmdQueries([]string{"-data", "data.csv", "-n", "10", "-out", "w.txt"}); err != nil {
+			t.Fatal(err)
+		}
+		err = cmdEvaluate([]string{
+			"-data", "data.csv", "-algo", "cluster", "-workload", "w.txt",
+			"-vary", "k", "-start", "2", "-end", "6", "-step", "2",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bad algorithm spec.
+		if err := cmdEvaluate([]string{"-data", "data.csv", "-algo", "bogus"}); err == nil {
+			t.Error("bogus algorithm accepted")
+		}
+	})
+}
+
+func TestCompareCommand(t *testing.T) {
+	withDir(t, func(dir string) {
+		err := cmdCompare([]string{
+			"-data", "data.csv",
+			"-configs", "cluster,incognito",
+			"-vary", "k", "-start", "2", "-end", "6", "-step", "2",
+			"-metric", "gcp", "-csv", "cmp.csv", "-svg", "cmp.svg",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile("cmp.csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), "cluster") || !strings.Contains(string(b), "incognito") {
+			t.Error("comparison CSV missing series")
+		}
+		if _, err := os.Stat("cmp.svg"); err != nil {
+			t.Error("cmp.svg not written")
+		}
+		if err := cmdCompare([]string{"-data", "data.csv", "-metric", "bogus"}); err == nil {
+			t.Error("bogus metric accepted")
+		}
+	})
+}
+
+func TestParseCombo(t *testing.T) {
+	mode, rel, tra, flavor, err := parseCombo("cluster+coat/tmerger")
+	if err != nil || mode != "rt" || rel != "cluster" || tra != "coat" || flavor != rt.TMerge {
+		t.Errorf("parseCombo = %v %v %v %v %v", mode, rel, tra, flavor, err)
+	}
+	mode, rel, _, _, err = parseCombo("incognito")
+	if err != nil || mode != "relational" || rel != "incognito" {
+		t.Errorf("parseCombo relational = %v %v %v", mode, rel, err)
+	}
+	mode, _, tra, _, err = parseCombo("pcta")
+	if err != nil || mode != "transaction" || tra != "pcta" {
+		t.Errorf("parseCombo transaction = %v %v %v", mode, tra, err)
+	}
+	if _, _, _, _, err := parseCombo("nope"); err == nil {
+		t.Error("bad combo accepted")
+	}
+	if _, _, _, _, err := parseCombo("cluster+apriori/bogus"); err == nil {
+		t.Error("bad flavor accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("  ") != nil {
+		t.Error("blank list not nil")
+	}
+}
+
+func TestQueriesEval(t *testing.T) {
+	withDir(t, func(dir string) {
+		if err := cmdQueries([]string{"-data", "data.csv", "-n", "5", "-out", "w.txt"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdQueries([]string{"-data", "data.csv", "-eval", "w.txt"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdQueries([]string{"-data", "data.csv", "-eval", "missing.txt"}); err == nil {
+			t.Error("missing workload accepted")
+		}
+	})
+}
+
+func TestVerifyCommand(t *testing.T) {
+	withDir(t, func(dir string) {
+		// Raw data is not 5-anonymous: verify must fail.
+		if err := cmdVerify([]string{"-data", "data.csv", "-k", "5", "-m", "2"}); err == nil {
+			t.Error("raw data passed (k,k^m) verification")
+		}
+		// Anonymize, then verification must pass.
+		err := cmdEvaluate([]string{
+			"-data", "data.csv", "-algo", "cluster+apriori/rmerger",
+			"-k", "4", "-m", "2", "-delta", "0.3", "-out", "anon.csv",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdVerify([]string{"-data", "anon.csv", "-k", "4", "-m", "2"}); err != nil {
+			t.Errorf("anonymized data failed verification: %v", err)
+		}
+		// Explicit models.
+		if err := cmdVerify([]string{"-data", "anon.csv", "-k", "4", "-model", "k"}); err != nil {
+			t.Errorf("k model: %v", err)
+		}
+		if err := cmdVerify([]string{"-data", "anon.csv", "-k", "4", "-m", "2", "-model", "km"}); err != nil {
+			t.Errorf("km model: %v", err)
+		}
+		if err := cmdVerify([]string{"-data", "anon.csv", "-model", "bogus"}); err == nil {
+			t.Error("bogus model accepted")
+		}
+	})
+}
+
+func TestEvaluateRhoExtension(t *testing.T) {
+	withDir(t, func(dir string) {
+		err := cmdEvaluate([]string{
+			"-data", "data.csv", "-algo", "rho",
+			"-rho", "0.4", "-sensitive", "i0000,i0001",
+			"-out", "rho.csv",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat("rho.csv"); err != nil {
+			t.Error("rho.csv not written")
+		}
+	})
+}

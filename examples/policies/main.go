@@ -1,0 +1,80 @@
+// Marketing scenario: a retailer publishes market-basket data for product-
+// affinity studies. Certain item combinations are sensitive (they reveal
+// health conditions), so they become privacy constraints; the retailer's
+// analysts also require that products from different departments are never
+// merged, which becomes a utility policy. COAT enforces both; the example
+// contrasts permissive vs strict utility policies and shows the
+// suppression/generalization trade-off, plus PCTA as the hierarchy-free
+// alternative.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secreta/internal/gen"
+	"secreta/internal/policy"
+	"secreta/internal/transaction"
+)
+
+func main() {
+	ds := gen.Census(gen.Config{Records: 600, Items: 24, Seed: 29})
+	fmt.Printf("baskets: %d records, %d distinct products\n\n",
+		ds.Len(), ds.SummarizeTransactions().DistinctItems)
+
+	// Privacy: protect every product pair an attacker might know
+	// (frequent pairs), plus every single product.
+	priv := policy.PrivacyFrequent(ds, 2, 2)
+	fmt.Printf("privacy policy: %d constraints (frequent itemsets up to size 2)\n", len(priv))
+
+	// Utility policy A: departments from the item hierarchy (strict).
+	ih, err := gen.ItemHierarchy(ds, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	departments := policy.UtilityFromHierarchy(ih, 1)
+	// Utility policy B: anything may merge (permissive).
+	anything := policy.UtilityTop(ds)
+
+	const k = 10
+	for _, tc := range []struct {
+		name string
+		util []policy.UtilityConstraint
+	}{
+		{"departments (strict)", departments},
+		{"top (permissive)", anything},
+	} {
+		pol := &policy.Policy{Privacy: priv, Utility: tc.util}
+		if err := pol.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := transaction.COAT(ds, transaction.Options{K: k, Policy: pol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, msg := transaction.PolicySatisfied(ds, res.Mapping, priv, k)
+		merged := 0
+		for _, label := range res.Mapping {
+			if label != "" && len(label) > 6 { // grouped labels are "(a,b,...)"
+				merged++
+			}
+		}
+		fmt.Printf("COAT / %-22s: protected=%v  generalized items=%d  suppressed=%d\n",
+			tc.name, ok, merged, len(res.Suppressed))
+		if !ok {
+			fmt.Println("  violation:", msg)
+		}
+	}
+
+	// PCTA needs no utility policy: it clusters items freely.
+	res, err := transaction.PCTA(ds, transaction.Options{K: k, Policy: &policy.Policy{Privacy: priv}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, _ := transaction.PolicySatisfied(ds, res.Mapping, priv, k)
+	fmt.Printf("PCTA (no utility bounds)      : protected=%v  merges=%d  suppressed=%d\n",
+		ok, res.Generalizations, len(res.Suppressed))
+
+	fmt.Println("\nexpected: the strict policy protects privacy with more suppression;")
+	fmt.Println("the permissive policy and PCTA protect it mostly by merging.")
+}

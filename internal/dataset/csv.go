@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Options controls CSV parsing and serialization.
+type Options struct {
+	// Comma is the CSV field separator (default ',').
+	Comma rune
+	// ItemSep separates items inside the transaction attribute cell
+	// (default ' ').
+	ItemSep string
+	// TransAttr names the column treated as the transaction attribute.
+	// Empty means the dataset is purely relational unless a header
+	// annotation marks one (see below).
+	TransAttr string
+	// DetectKinds re-classifies attributes by value inspection after load
+	// when the header carries no kind annotations.
+	DetectKinds bool
+}
+
+func (o *Options) fill() {
+	if o.Comma == 0 {
+		o.Comma = ','
+	}
+	if o.ItemSep == "" {
+		o.ItemSep = " "
+	}
+}
+
+// ReadCSV parses a dataset. The first row is the header. A header cell may
+// carry a kind annotation as "name:kind" (kind in categorical|numeric|
+// transaction); otherwise kinds are detected from the data when
+// opts.DetectKinds is set. At most one column may be the transaction
+// attribute; its cells hold items separated by opts.ItemSep.
+func ReadCSV(r io.Reader, opts Options) (*Dataset, error) {
+	opts.fill()
+	cr := csv.NewReader(r)
+	cr.Comma = opts.Comma
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV input")
+	}
+	header := rows[0]
+	if len(header) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV header")
+	}
+
+	type col struct {
+		name  string
+		kind  Kind
+		annot bool
+	}
+	cols := make([]col, len(header))
+	transCol := -1
+	for i, h := range header {
+		name, kindStr, found := strings.Cut(strings.TrimSpace(h), ":")
+		c := col{name: strings.TrimSpace(name), kind: Categorical}
+		if found {
+			k, err := ParseKind(kindStr)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: header column %d: %w", i, err)
+			}
+			c.kind = k
+			c.annot = true
+		}
+		if c.name == "" {
+			return nil, fmt.Errorf("dataset: header column %d has empty name", i)
+		}
+		if c.name == opts.TransAttr || c.kind == Transaction {
+			if transCol >= 0 {
+				return nil, fmt.Errorf("dataset: multiple transaction columns (%d and %d)", transCol, i)
+			}
+			transCol = i
+			c.kind = Transaction
+		}
+		cols[i] = c
+	}
+
+	var attrs []Attribute
+	transName := ""
+	for i, c := range cols {
+		if i == transCol {
+			transName = c.name
+			continue
+		}
+		attrs = append(attrs, Attribute{Name: c.name, Kind: c.kind})
+	}
+	ds := New(attrs, transName)
+
+	for rn, row := range rows[1:] {
+		if len(row) == 1 && strings.TrimSpace(row[0]) == "" {
+			continue
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", rn+2, len(row), len(header))
+		}
+		rec := Record{Values: make([]string, 0, len(attrs))}
+		for i, cell := range row {
+			if i == transCol {
+				rec.Items = splitItems(cell, opts.ItemSep)
+				continue
+			}
+			rec.Values = append(rec.Values, strings.TrimSpace(cell))
+		}
+		if err := ds.AddRecord(rec); err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", rn+2, err)
+		}
+	}
+
+	annotated := false
+	for _, c := range cols {
+		if c.annot {
+			annotated = true
+			break
+		}
+	}
+	if opts.DetectKinds && !annotated {
+		ds.DetectKinds()
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func splitItems(cell, sep string) []string {
+	cell = strings.TrimSpace(cell)
+	if cell == "" {
+		return nil
+	}
+	parts := strings.Split(cell, sep)
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WriteCSV serializes the dataset with kind-annotated headers, so a
+// round-trip preserves attribute kinds and the transaction column.
+func (d *Dataset) WriteCSV(w io.Writer, opts Options) error {
+	opts.fill()
+	cw := csv.NewWriter(w)
+	cw.Comma = opts.Comma
+
+	header := make([]string, 0, len(d.Attrs)+1)
+	for _, a := range d.Attrs {
+		header = append(header, a.Name+":"+a.Kind.String())
+	}
+	if d.HasTransaction() {
+		header = append(header, d.TransName+":transaction")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, 0, len(header))
+	for i := range d.Records {
+		row = row[:0]
+		row = append(row, d.Records[i].Values...)
+		if d.HasTransaction() {
+			row = append(row, strings.Join(d.Records[i].Items, opts.ItemSep))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadFile reads a dataset from a CSV file path.
+func LoadFile(path string, opts Options) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}
+
+// SaveFile writes the dataset to a CSV file path.
+func (d *Dataset) SaveFile(path string, opts Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

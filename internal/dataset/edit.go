@@ -1,0 +1,136 @@
+package dataset
+
+import "fmt"
+
+// Editing operations backing the Dataset Editor pane: rename attributes,
+// add/delete rows and columns, and rewrite individual cells.
+
+// RenameAttribute changes the name of a relational attribute or of the
+// transaction attribute.
+func (d *Dataset) RenameAttribute(oldName, newName string) error {
+	if newName == "" {
+		return fmt.Errorf("dataset: new attribute name is empty")
+	}
+	if d.AttrIndex(newName) >= 0 || d.TransName == newName {
+		return fmt.Errorf("dataset: attribute %q already exists", newName)
+	}
+	if d.TransName == oldName {
+		d.TransName = newName
+		return nil
+	}
+	i := d.AttrIndex(oldName)
+	if i < 0 {
+		return fmt.Errorf("dataset: no attribute named %q", oldName)
+	}
+	d.Attrs[i].Name = newName
+	return nil
+}
+
+// AddAttribute appends a relational column, filling every existing record
+// with defaultValue.
+func (d *Dataset) AddAttribute(attr Attribute, defaultValue string) error {
+	if attr.Kind == Transaction {
+		return fmt.Errorf("dataset: cannot add a transaction attribute as a relational column")
+	}
+	if attr.Name == "" {
+		return fmt.Errorf("dataset: attribute name is empty")
+	}
+	if d.AttrIndex(attr.Name) >= 0 || d.TransName == attr.Name {
+		return fmt.Errorf("dataset: attribute %q already exists", attr.Name)
+	}
+	d.Attrs = append(d.Attrs, attr)
+	for i := range d.Records {
+		d.Records[i].Values = append(d.Records[i].Values, defaultValue)
+	}
+	return nil
+}
+
+// DeleteAttribute removes a relational column and its values from all
+// records.
+func (d *Dataset) DeleteAttribute(name string) error {
+	i := d.AttrIndex(name)
+	if i < 0 {
+		return fmt.Errorf("dataset: no attribute named %q", name)
+	}
+	d.Attrs = append(d.Attrs[:i], d.Attrs[i+1:]...)
+	for j := range d.Records {
+		v := d.Records[j].Values
+		d.Records[j].Values = append(v[:i], v[i+1:]...)
+	}
+	return nil
+}
+
+// DeleteRecord removes the record at index i.
+func (d *Dataset) DeleteRecord(i int) error {
+	if i < 0 || i >= len(d.Records) {
+		return fmt.Errorf("dataset: record index %d out of range [0,%d)", i, len(d.Records))
+	}
+	d.Records = append(d.Records[:i], d.Records[i+1:]...)
+	return nil
+}
+
+// SetValue rewrites the cell (record, attribute name).
+func (d *Dataset) SetValue(rec int, attrName, value string) error {
+	if rec < 0 || rec >= len(d.Records) {
+		return fmt.Errorf("dataset: record index %d out of range [0,%d)", rec, len(d.Records))
+	}
+	i := d.AttrIndex(attrName)
+	if i < 0 {
+		return fmt.Errorf("dataset: no attribute named %q", attrName)
+	}
+	d.Records[rec].Values[i] = value
+	return nil
+}
+
+// SetItems replaces the transaction item set of a record; the items are
+// normalized (sorted, deduplicated).
+func (d *Dataset) SetItems(rec int, items []string) error {
+	if !d.HasTransaction() {
+		return fmt.Errorf("dataset: dataset has no transaction attribute")
+	}
+	if rec < 0 || rec >= len(d.Records) {
+		return fmt.Errorf("dataset: record index %d out of range [0,%d)", rec, len(d.Records))
+	}
+	d.Records[rec].Items = normalizeItems(items)
+	return nil
+}
+
+// ReplaceValue substitutes every occurrence of old with new in the named
+// relational attribute and returns the number of rewritten cells.
+func (d *Dataset) ReplaceValue(attrName, old, new string) (int, error) {
+	i := d.AttrIndex(attrName)
+	if i < 0 {
+		return 0, fmt.Errorf("dataset: no attribute named %q", attrName)
+	}
+	n := 0
+	for j := range d.Records {
+		if d.Records[j].Values[i] == old {
+			d.Records[j].Values[i] = new
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ReplaceItem substitutes every occurrence of item old with new across all
+// transaction parts and returns the number of affected records.
+func (d *Dataset) ReplaceItem(old, new string) (int, error) {
+	if !d.HasTransaction() {
+		return 0, fmt.Errorf("dataset: dataset has no transaction attribute")
+	}
+	n := 0
+	for j := range d.Records {
+		changed := false
+		for k, it := range d.Records[j].Items {
+			if it == old {
+				d.Records[j].Items[k] = new
+				changed = true
+			}
+		}
+		if changed {
+			d.Records[j].Items = normalizeItems(d.Records[j].Items)
+			n++
+		}
+	}
+	return n, nil
+}

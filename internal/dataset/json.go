@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON serialization: the Data Export Module's second dataset format.
+// Schema and rows are explicit so the file is self-describing:
+//
+//	{
+//	  "attributes": [{"name":"Age","kind":"numeric"}, ...],
+//	  "transaction": "Items",
+//	  "records": [{"values":["25","M"],"items":["a","b"]}, ...]
+//	}
+
+type jsonAttr struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type jsonRecord struct {
+	Values []string `json:"values"`
+	Items  []string `json:"items,omitempty"`
+}
+
+type jsonDataset struct {
+	Attributes  []jsonAttr   `json:"attributes"`
+	Transaction string       `json:"transaction,omitempty"`
+	Records     []jsonRecord `json:"records"`
+}
+
+// WriteJSON serializes the dataset as indented JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	out := jsonDataset{Transaction: d.TransName}
+	for _, a := range d.Attrs {
+		out.Attributes = append(out.Attributes, jsonAttr{Name: a.Name, Kind: a.Kind.String()})
+	}
+	for i := range d.Records {
+		out.Records = append(out.Records, jsonRecord{
+			Values: d.Records[i].Values,
+			Items:  d.Records[i].Items,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a dataset from the JSON format written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON: %w", err)
+	}
+	if len(in.Attributes) == 0 {
+		return nil, fmt.Errorf("dataset: JSON has no attributes")
+	}
+	attrs := make([]Attribute, len(in.Attributes))
+	for i, a := range in.Attributes {
+		kind, err := ParseKind(a.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: attribute %q: %w", a.Name, err)
+		}
+		if kind == Transaction {
+			return nil, fmt.Errorf("dataset: attribute %q: transaction kind belongs in the top-level field", a.Name)
+		}
+		attrs[i] = Attribute{Name: a.Name, Kind: kind}
+	}
+	ds := New(attrs, in.Transaction)
+	for i, r := range in.Records {
+		if err := ds.AddRecord(Record{Values: r.Values, Items: r.Items}); err != nil {
+			return nil, fmt.Errorf("dataset: JSON record %d: %w", i, err)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// SaveJSONFile writes the dataset to a JSON file path.
+func (d *Dataset) SaveJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONFile reads a dataset from a JSON file path.
+func LoadJSONFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := sample()
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Attrs, back.Attrs) || ds.TransName != back.TransName {
+		t.Errorf("schema mismatch: %+v vs %+v", ds.Attrs, back.Attrs)
+	}
+	if !reflect.DeepEqual(ds.Records, back.Records) {
+		t.Error("records mismatch after JSON round-trip")
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	ds := sample()
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.SaveJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Errorf("Len = %d, want %d", back.Len(), ds.Len())
+	}
+	if _, err := LoadJSONFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "{",
+		"no attributes":  `{"records":[]}`,
+		"bad kind":       `{"attributes":[{"name":"A","kind":"bogus"}],"records":[]}`,
+		"trans kind":     `{"attributes":[{"name":"A","kind":"transaction"}],"records":[]}`,
+		"bad arity":      `{"attributes":[{"name":"A","kind":"categorical"}],"records":[{"values":["1","2"]}]}`,
+		"unknown fields": `{"attributes":[{"name":"A","kind":"categorical"}],"bogus":1,"records":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONItemsNormalized(t *testing.T) {
+	in := `{"attributes":[{"name":"A","kind":"categorical"}],"transaction":"T",
+	  "records":[{"values":["x"],"items":["b","a","b"]}]}`
+	ds, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Records[0].Items, []string{"a", "b"}) {
+		t.Errorf("items = %v", ds.Records[0].Items)
+	}
+}

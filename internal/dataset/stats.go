@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Frequency is one histogram bar: a value and how many records carry it.
+type Frequency struct {
+	Value string
+	Count int
+}
+
+// Histogram returns the value frequencies of relational attribute i, sorted
+// by descending count and then by value, which is the order the Dataset
+// Editor plots them in.
+func (d *Dataset) Histogram(i int) []Frequency {
+	counts := make(map[string]int)
+	for j := range d.Records {
+		counts[d.Records[j].Values[i]]++
+	}
+	return sortFrequencies(counts)
+}
+
+// ItemHistogram returns the per-item support counts of the transaction
+// attribute, sorted by descending count and then by item.
+func (d *Dataset) ItemHistogram() []Frequency {
+	counts := make(map[string]int)
+	for j := range d.Records {
+		for _, it := range d.Records[j].Items {
+			counts[it]++
+		}
+	}
+	return sortFrequencies(counts)
+}
+
+func sortFrequencies(counts map[string]int) []Frequency {
+	out := make([]Frequency, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, Frequency{Value: v, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	return out
+}
+
+// NumericSummary describes a numeric attribute's distribution.
+type NumericSummary struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	Median float64
+}
+
+// Summarize computes a NumericSummary for relational attribute i. It
+// returns an error when the attribute is not Numeric or a value fails to
+// parse.
+func (d *Dataset) Summarize(i int) (NumericSummary, error) {
+	if i < 0 || i >= len(d.Attrs) {
+		return NumericSummary{}, fmt.Errorf("dataset: attribute index %d out of range", i)
+	}
+	if d.Attrs[i].Kind != Numeric {
+		return NumericSummary{}, fmt.Errorf("dataset: attribute %q is not numeric", d.Attrs[i].Name)
+	}
+	vals := make([]float64, 0, len(d.Records))
+	for j := range d.Records {
+		s := d.Records[j].Values[i]
+		if s == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return NumericSummary{}, fmt.Errorf("dataset: attribute %q record %d: %w", d.Attrs[i].Name, j, err)
+		}
+		vals = append(vals, f)
+	}
+	if len(vals) == 0 {
+		return NumericSummary{}, fmt.Errorf("dataset: attribute %q has no values", d.Attrs[i].Name)
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	varsum := 0.0
+	for _, v := range vals {
+		dv := v - mean
+		varsum += dv * dv
+	}
+	med := vals[len(vals)/2]
+	if len(vals)%2 == 0 {
+		med = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+	}
+	return NumericSummary{
+		Count:  len(vals),
+		Min:    vals[0],
+		Max:    vals[len(vals)-1],
+		Mean:   mean,
+		Stddev: math.Sqrt(varsum / float64(len(vals))),
+		Median: med,
+	}, nil
+}
+
+// TransactionStats summarizes the transaction attribute: number of distinct
+// items, total item occurrences, and min/avg/max record (basket) size.
+type TransactionStats struct {
+	DistinctItems int
+	Occurrences   int
+	MinSize       int
+	AvgSize       float64
+	MaxSize       int
+}
+
+// SummarizeTransactions computes TransactionStats; zero-valued when the
+// dataset has no transaction attribute or no records.
+func (d *Dataset) SummarizeTransactions() TransactionStats {
+	var st TransactionStats
+	if !d.HasTransaction() || len(d.Records) == 0 {
+		return st
+	}
+	seen := make(map[string]struct{})
+	st.MinSize = math.MaxInt
+	for i := range d.Records {
+		n := len(d.Records[i].Items)
+		st.Occurrences += n
+		if n < st.MinSize {
+			st.MinSize = n
+		}
+		if n > st.MaxSize {
+			st.MaxSize = n
+		}
+		for _, it := range d.Records[i].Items {
+			seen[it] = struct{}{}
+		}
+	}
+	st.DistinctItems = len(seen)
+	st.AvgSize = float64(st.Occurrences) / float64(len(d.Records))
+	if st.MinSize == math.MaxInt {
+		st.MinSize = 0
+	}
+	return st
+}

@@ -1,0 +1,328 @@
+// Package engine implements SECRETA's backend core (Figure 1 of the
+// paper): the Anonymization Module — a uniform interface over all nine
+// algorithms and the three RT bounding methods — and the Method
+// Evaluator/Comparator, which fans configurations out to N parallel
+// anonymization workers and collects results with runtime, phase
+// breakdowns, and the full set of utility indicators.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/metrics"
+	"secreta/internal/policy"
+	"secreta/internal/privacy"
+	"secreta/internal/query"
+	"secreta/internal/relational"
+	"secreta/internal/rt"
+	"secreta/internal/timing"
+	"secreta/internal/transaction"
+)
+
+// Mode classifies what a configuration anonymizes.
+type Mode int
+
+const (
+	// Relational runs a relational algorithm on the QI attributes.
+	Relational Mode = iota
+	// Transactional runs a transaction algorithm on the item attribute.
+	Transactional
+	// RT runs a bounding-method combination on both.
+	RT
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Relational:
+		return "relational"
+	case Transactional:
+		return "transaction"
+	case RT:
+		return "rt"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config is one anonymization request: an algorithm (or combination) plus
+// parameters. It is what the Evaluation mode runs once and the Comparison
+// mode runs per configuration per parameter value.
+type Config struct {
+	// Label identifies the configuration in reports and plots.
+	Label string
+	// Mode picks the attribute side(s) to anonymize.
+	Mode Mode
+	// Algorithm names the relational or transaction algorithm (per
+	// Mode); for RT mode, RelAlgo/TransAlgo/Flavor are used instead.
+	Algorithm string
+	// RelAlgo, TransAlgo, Flavor configure RT mode.
+	RelAlgo   string
+	TransAlgo string
+	Flavor    rt.Flavor
+	// K, M, Delta are the privacy parameters (M, Delta: RT/transaction).
+	K     int
+	M     int
+	Delta float64
+	// Rho and Sensitive configure the rho-uncertainty extension
+	// algorithm (transaction mode, Algorithm: "rho").
+	Rho       float64
+	Sensitive []string
+	// QIs restricts the quasi-identifiers (empty: all relational).
+	QIs []string
+	// Hierarchies, ItemHierarchy, Policy are the configuration inputs
+	// from the Configuration Editor.
+	Hierarchies   generalize.Set
+	ItemHierarchy *hierarchy.Hierarchy
+	Policy        *policy.Policy
+	// Workload, when set, lets the evaluator compute ARE.
+	Workload *query.Workload
+}
+
+// DisplayLabel returns Label or a synthesized description.
+func (c *Config) DisplayLabel() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	switch c.Mode {
+	case RT:
+		return fmt.Sprintf("%s+%s/%s k=%d m=%d d=%.2g", c.RelAlgo, c.TransAlgo, c.Flavor, c.K, c.M, c.Delta)
+	case Transactional:
+		return fmt.Sprintf("%s k=%d m=%d", c.Algorithm, c.K, c.M)
+	default:
+		return fmt.Sprintf("%s k=%d", c.Algorithm, c.K)
+	}
+}
+
+// Indicators is the utility/privacy summary of one run — the numbers the
+// message box and plots of the Evaluation mode present.
+type Indicators struct {
+	GCP              float64 // relational information loss, [0,1]
+	TransactionGCP   float64 // transaction information loss, [0,1]
+	ARE              float64 // average relative error over the workload
+	Discernibility   float64
+	CAVG             float64
+	SuppressionRatio float64
+	MinClassSize     int
+	Classes          int
+	KAnonymous       bool
+	KMAnonymous      bool
+}
+
+// Result is one completed anonymization with its evaluation.
+type Result struct {
+	Config     Config
+	Anonymized *dataset.Dataset
+	Runtime    time.Duration
+	Phases     []timing.Phase
+	Indicators Indicators
+	Err        error
+}
+
+// Run executes a single configuration synchronously and evaluates it —
+// the Evaluation mode's single-parameter execution.
+func Run(ds *dataset.Dataset, cfg Config) *Result {
+	start := time.Now()
+	res := &Result{Config: cfg}
+	anon, phases, err := dispatch(ds, cfg)
+	res.Runtime = time.Since(start)
+	res.Phases = phases
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Anonymized = anon
+	res.Indicators, res.Err = Evaluate(ds, anon, cfg)
+	return res
+}
+
+func dispatch(ds *dataset.Dataset, cfg Config) (*dataset.Dataset, []timing.Phase, error) {
+	switch cfg.Mode {
+	case Relational:
+		run, err := relationalByName(cfg.Algorithm)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := run(ds, relational.Options{K: cfg.K, QIs: cfg.QIs, Hierarchies: cfg.Hierarchies})
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Anonymized, r.Phases, nil
+	case Transactional:
+		run, err := transactionByName(cfg.Algorithm)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := run(ds, transaction.Options{
+			K: cfg.K, M: cfg.M,
+			ItemHierarchy: cfg.ItemHierarchy,
+			Policy:        cfg.Policy,
+			Rho:           cfg.Rho,
+			Sensitive:     cfg.Sensitive,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Anonymized, r.Phases, nil
+	case RT:
+		r, err := rt.Anonymize(ds, rt.Options{
+			K: cfg.K, M: cfg.M, Delta: cfg.Delta,
+			QIs:           cfg.QIs,
+			Hierarchies:   cfg.Hierarchies,
+			ItemHierarchy: cfg.ItemHierarchy,
+			Policy:        cfg.Policy,
+			RelAlgo:       cfg.RelAlgo,
+			TransAlgo:     cfg.TransAlgo,
+			Flavor:        cfg.Flavor,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Anonymized, r.Phases, nil
+	}
+	return nil, nil, fmt.Errorf("engine: unknown mode %v", cfg.Mode)
+}
+
+func relationalByName(name string) (func(*dataset.Dataset, relational.Options) (*relational.Result, error), error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "incognito":
+		return relational.Incognito, nil
+	case "topdown":
+		return relational.TopDown, nil
+	case "bottomup":
+		return relational.BottomUp, nil
+	case "cluster":
+		return relational.Cluster, nil
+	}
+	return nil, fmt.Errorf("engine: unknown relational algorithm %q", name)
+}
+
+func transactionByName(name string) (func(*dataset.Dataset, transaction.Options) (*transaction.Result, error), error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "apriori":
+		return transaction.Apriori, nil
+	case "lra":
+		return transaction.LRA, nil
+	case "vpa":
+		return transaction.VPA, nil
+	case "coat":
+		return transaction.COAT, nil
+	case "pcta":
+		return transaction.PCTA, nil
+	case "rho":
+		return transaction.RhoUncertainty, nil
+	}
+	return nil, fmt.Errorf("engine: unknown transaction algorithm %q", name)
+}
+
+// ExtensionAlgos lists algorithms beyond the paper's original nine — the
+// extensions its conclusion announces ("rho" = rho-uncertainty, Cao et
+// al.). They run in Transactional mode like the core five.
+var ExtensionAlgos = []string{"rho"}
+
+// Algorithms lists every runnable single-algorithm name by mode.
+func Algorithms(mode Mode) []string {
+	switch mode {
+	case Relational:
+		return append([]string(nil), rt.RelationalAlgos...)
+	case Transactional:
+		return append([]string(nil), rt.TransactionAlgos...)
+	default:
+		var out []string
+		for _, r := range rt.RelationalAlgos {
+			for _, t := range rt.TransactionAlgos {
+				out = append(out, r+"+"+t)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+}
+
+// Evaluate computes the full indicator set for an anonymized dataset.
+func Evaluate(orig, anon *dataset.Dataset, cfg Config) (Indicators, error) {
+	var ind Indicators
+	qis, err := orig.QIIndices(cfg.QIs)
+	if err != nil {
+		return ind, err
+	}
+	relSide := cfg.Mode == Relational || cfg.Mode == RT
+	transSide := (cfg.Mode == Transactional || cfg.Mode == RT) && orig.HasTransaction()
+
+	if relSide {
+		if ind.GCP, err = metrics.GCP(anon, cfg.Hierarchies, qis); err != nil {
+			return ind, err
+		}
+		ind.Discernibility = metrics.Discernibility(anon, qis)
+		ind.CAVG = metrics.CAVG(anon, qis, cfg.K)
+		ind.SuppressionRatio = metrics.SuppressionRatio(anon, qis)
+		ind.MinClassSize = privacy.MinClassSize(anon, qis)
+		ind.Classes = len(privacy.Partition(anon, qis))
+		ind.KAnonymous = privacy.IsKAnonymous(anon, qis, cfg.K)
+	}
+	if transSide {
+		if cfg.ItemHierarchy != nil {
+			if ind.TransactionGCP, err = metrics.TransactionGCP(orig, anon, cfg.ItemHierarchy); err != nil {
+				return ind, err
+			}
+		}
+		switch cfg.Mode {
+		case RT:
+			rep := privacy.CheckRT(anon, qis, cfg.K, cfg.M)
+			ind.KMAnonymous = rep.BadClasses == 0
+			ind.KAnonymous = rep.KAnonymous
+		default:
+			ind.KMAnonymous = privacy.IsKMAnonymous(privacy.Transactions(anon, nil), cfg.K, cfg.M)
+		}
+	}
+	if cfg.Workload != nil && cfg.Workload.Len() > 0 {
+		are, err := query.ARE(cfg.Workload, orig, anon, cfg.Hierarchies, cfg.ItemHierarchy)
+		if err != nil {
+			return ind, err
+		}
+		ind.ARE = are
+	}
+	return ind, nil
+}
+
+// RunAll executes many configurations over the dataset using `workers`
+// parallel anonymization module instances (the "N threads" of the paper's
+// architecture; workers <= 0 means one per configuration, capped at 8).
+// Results are returned in input order; individual failures are recorded in
+// Result.Err without failing the batch.
+func RunAll(ds *dataset.Dataset, cfgs []Config, workers int) []*Result {
+	if workers <= 0 {
+		workers = len(cfgs)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = Run(ds, cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

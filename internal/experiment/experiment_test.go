@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"secreta/internal/dataset"
+	"secreta/internal/engine"
+	"secreta/internal/gen"
+	"secreta/internal/generalize"
+)
+
+func fixture(t testing.TB) (*dataset.Dataset, generalize.Set) {
+	t.Helper()
+	ds := gen.Census(gen.Config{Records: 100, Items: 0, Seed: 31})
+	hs, err := gen.Hierarchies(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, hs
+}
+
+func TestSweepValidate(t *testing.T) {
+	good := Sweep{Param: "k", Start: 2, End: 10, Step: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Sweep{
+		{Param: "zzz", Start: 1, End: 2, Step: 1},
+		{Param: "k", Start: 1, End: 2, Step: 0},
+		{Param: "k", Start: 5, End: 2, Step: 1},
+		{Param: "k", Start: 0, End: 1e9, Step: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("sweep %+v accepted", bad)
+		}
+	}
+}
+
+func TestSweepValues(t *testing.T) {
+	s := Sweep{Param: "k", Start: 2, End: 10, Step: 2}
+	vals := s.Values()
+	if len(vals) != 5 || vals[0] != 2 || vals[4] != 10 {
+		t.Errorf("values = %v", vals)
+	}
+	// Floating-point deltas include the endpoint.
+	s = Sweep{Param: "delta", Start: 0, End: 0.3, Step: 0.1}
+	vals = s.Values()
+	if len(vals) != 4 || math.Abs(vals[3]-0.3) > 1e-9 {
+		t.Errorf("delta values = %v", vals)
+	}
+}
+
+func TestSweepApply(t *testing.T) {
+	base := engine.Config{K: 1, M: 1, Delta: 0}
+	s := Sweep{Param: "k"}
+	if got := s.apply(base, 7); got.K != 7 {
+		t.Errorf("k apply = %+v", got)
+	}
+	s = Sweep{Param: "m"}
+	if got := s.apply(base, 3); got.M != 3 {
+		t.Errorf("m apply = %+v", got)
+	}
+	s = Sweep{Param: "delta"}
+	if got := s.apply(base, 0.25); got.Delta != 0.25 {
+		t.Errorf("delta apply = %+v", got)
+	}
+	if base.K != 1 {
+		t.Error("apply mutated base")
+	}
+}
+
+func TestVaryingRunSeries(t *testing.T) {
+	ds, hs := fixture(t)
+	base := engine.Config{Mode: engine.Relational, Algorithm: "cluster", Hierarchies: hs}
+	series, err := VaryingRun(ds, base, Sweep{Param: "k", Start: 2, End: 10, Step: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 3 {
+		t.Fatalf("points = %d", len(series.Points))
+	}
+	if series.Failed() != 0 {
+		t.Fatalf("failures: %+v", series.Points)
+	}
+	// GCP must be non-decreasing in k for a fixed algorithm.
+	ys := series.Ys(func(i engine.Indicators) float64 { return i.GCP })
+	for i := 1; i < len(ys); i++ {
+		if ys[i]+1e-9 < ys[i-1] {
+			t.Errorf("GCP decreased along k sweep: %v", ys)
+		}
+	}
+	xs := series.Xs()
+	if xs[0] != 2 || xs[2] != 10 {
+		t.Errorf("xs = %v", xs)
+	}
+	if rs := series.Runtimes(); len(rs) != 3 || rs[0] < 0 {
+		t.Errorf("runtimes = %v", rs)
+	}
+}
+
+func TestVaryingRunCapturesPointFailures(t *testing.T) {
+	ds, hs := fixture(t)
+	base := engine.Config{Mode: engine.Relational, Algorithm: "cluster", Hierarchies: hs}
+	// k beyond n fails for the last point only.
+	series, err := VaryingRun(ds, base, Sweep{Param: "k", Start: 50, End: 150, Step: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Failed() != 1 {
+		t.Errorf("failed = %d, want 1", series.Failed())
+	}
+	if series.Points[0].Err != nil || series.Points[2].Err == nil {
+		t.Error("wrong points failed")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ds, hs := fixture(t)
+	bases := []engine.Config{
+		{Mode: engine.Relational, Algorithm: "cluster", Hierarchies: hs},
+		{Mode: engine.Relational, Algorithm: "incognito", Hierarchies: hs},
+	}
+	series, err := Compare(ds, bases, Sweep{Param: "k", Start: 2, End: 6, Step: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 || s.Failed() != 0 {
+			t.Errorf("series %q: %+v", s.Label, s.Points)
+		}
+	}
+	if series[0].Label == series[1].Label {
+		t.Error("series labels collide")
+	}
+	if _, err := Compare(ds, nil, Sweep{Param: "k", Start: 1, End: 2, Step: 1}, 1); err == nil {
+		t.Error("empty comparison accepted")
+	}
+	if _, err := Compare(ds, bases, Sweep{Param: "bad", Start: 1, End: 2, Step: 1}, 1); err == nil {
+		t.Error("bad sweep accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"secreta/internal/engine"
+	"secreta/internal/experiment"
+	"secreta/internal/plot"
+	"secreta/internal/timing"
+)
+
+func sampleSeries() []*experiment.Series {
+	return []*experiment.Series{
+		{
+			Label: "cluster k", Param: "k",
+			Points: []experiment.Point{
+				{X: 2, Runtime: 10 * time.Millisecond, Indicators: engine.Indicators{GCP: 0.1, KAnonymous: true}},
+				{X: 4, Runtime: 20 * time.Millisecond, Err: errors.New("boom")},
+			},
+		},
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "series" || rows[0][5] != "gcp" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "cluster k" || rows[1][2] != "2" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if rows[2][4] != "boom" {
+		t.Errorf("error column = %q", rows[2][4])
+	}
+}
+
+func TestResultsJSON(t *testing.T) {
+	results := []*engine.Result{
+		{
+			Config:  engine.Config{Label: "r1", Mode: engine.Relational},
+			Runtime: 50 * time.Millisecond,
+			Phases:  []timing.Phase{{Name: "setup", Duration: time.Millisecond}},
+			Indicators: engine.Indicators{
+				GCP: 0.25, KAnonymous: true,
+			},
+		},
+		{
+			Config: engine.Config{Label: "r2"},
+			Err:    errors.New("failed"),
+		},
+	}
+	var buf bytes.Buffer
+	if err := ResultsJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("decoded %d results", len(back))
+	}
+	if back[0]["label"] != "r1" {
+		t.Errorf("label = %v", back[0]["label"])
+	}
+	if back[1]["error"] != "failed" {
+		t.Errorf("error = %v", back[1]["error"])
+	}
+	phases, ok := back[0]["phases"].([]any)
+	if !ok || len(phases) != 1 {
+		t.Errorf("phases = %v", back[0]["phases"])
+	}
+}
+
+func TestPhasesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := PhasesCSV(&buf, []timing.Phase{
+		{Name: "relational", Duration: 3 * time.Millisecond},
+		{Name: "merge", Duration: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "relational,3") || !strings.Contains(out, "merge,1") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFileWriters(t *testing.T) {
+	dir := t.TempDir()
+
+	seriesPath := filepath.Join(dir, "series.csv")
+	if err := SeriesCSVFile(seriesPath, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := os.ReadFile(seriesPath); err != nil || len(b) == 0 {
+		t.Errorf("series file: %v", err)
+	}
+
+	jsonPath := filepath.Join(dir, "results.json")
+	if err := ResultsJSONFile(jsonPath, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	svgPath := filepath.Join(dir, "chart.svg")
+	chart := plot.NewLine("t", "x", "y", plot.Series{Label: "s", Xs: []float64{0, 1}, Ys: []float64{0, 1}})
+	if err := ChartSVG(svgPath, chart, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(svgPath)
+	if err != nil || !strings.Contains(string(b), "<svg") {
+		t.Errorf("svg file: %v", err)
+	}
+
+	// Unwritable path errors.
+	if err := SeriesCSVFile(filepath.Join(dir, "nope", "x.csv"), nil); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

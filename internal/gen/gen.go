@@ -1,0 +1,139 @@
+// Package gen produces the synthetic datasets this reproduction uses in
+// place of SECRETA's demo data (which is not redistributable): census-like
+// relational records (age, gender, zipcode, education, marital status) and
+// Zipf-distributed market-basket transaction attributes, the two data
+// shapes the paper's motivating applications (marketing, healthcare) rely
+// on. All generation is seeded and reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+)
+
+// Config tunes the generator.
+type Config struct {
+	// Records is the number of records (default 1000).
+	Records int
+	// Items is the size of the transaction item domain; 0 disables the
+	// transaction attribute.
+	Items int
+	// MaxBasket is the maximum basket size (default 6, min 1).
+	MaxBasket int
+	// ZipfS is the Zipf skew of item popularity (default 1.2; must be >1).
+	ZipfS float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Records <= 0 {
+		c.Records = 1000
+	}
+	if c.MaxBasket <= 0 {
+		c.MaxBasket = 6
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+}
+
+var (
+	genders   = []string{"M", "F"}
+	education = []string{"Primary", "Secondary", "Bachelor", "Master", "Doctorate"}
+	marital   = []string{"Single", "Married", "Divorced", "Widowed"}
+)
+
+// Census generates a census-like RT-dataset with attributes Age (numeric),
+// Gender, Zip, Education, Marital (categorical) and, when cfg.Items > 0, a
+// transaction attribute "Items" holding Zipf-skewed baskets over items
+// i000..iNNN.
+func Census(cfg Config) *dataset.Dataset {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trans := ""
+	if cfg.Items > 0 {
+		trans = "Items"
+	}
+	ds := dataset.New([]dataset.Attribute{
+		{Name: "Age", Kind: dataset.Numeric},
+		{Name: "Gender", Kind: dataset.Categorical},
+		{Name: "Zip", Kind: dataset.Categorical},
+		{Name: "Education", Kind: dataset.Categorical},
+		{Name: "Marital", Kind: dataset.Categorical},
+	}, trans)
+
+	var zipf *rand.Zipf
+	if cfg.Items > 0 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Items-1))
+	}
+	for i := 0; i < cfg.Records; i++ {
+		age := 18 + int(math.Abs(rng.NormFloat64())*14)
+		if age > 89 {
+			age = 89
+		}
+		zip := fmt.Sprintf("%05d", 10000+rng.Intn(90)*100)
+		rec := dataset.Record{Values: []string{
+			strconv.Itoa(age),
+			genders[rng.Intn(len(genders))],
+			zip,
+			education[rng.Intn(len(education))],
+			marital[rng.Intn(len(marital))],
+		}}
+		if cfg.Items > 0 {
+			n := 1 + rng.Intn(cfg.MaxBasket)
+			seen := make(map[uint64]bool, n)
+			for len(seen) < n {
+				seen[zipf.Uint64()] = true
+			}
+			for id := range seen {
+				rec.Items = append(rec.Items, ItemName(int(id)))
+			}
+		}
+		if err := ds.AddRecord(rec); err != nil {
+			panic(err) // generator bug: records are constructed consistently
+		}
+	}
+	return ds
+}
+
+// ItemName formats item ids as zero-padded labels whose lexicographic order
+// matches numeric order, which keeps auto-generated hierarchies aligned.
+func ItemName(id int) string { return fmt.Sprintf("i%04d", id) }
+
+// Hierarchies builds hierarchies for every relational attribute of a
+// generated dataset (numeric range trees for Age, balanced categorical
+// trees elsewhere) with the given fanout.
+func Hierarchies(ds *dataset.Dataset, fanout int) (generalize.Set, error) {
+	out := make(generalize.Set, len(ds.Attrs))
+	for i, a := range ds.Attrs {
+		vals := ds.Column(i)
+		var h *hierarchy.Hierarchy
+		var err error
+		if a.Kind == dataset.Numeric {
+			h, err = hierarchy.AutoNumeric(a.Name, vals, fanout)
+		} else {
+			h, err = hierarchy.AutoCategorical(a.Name, vals, fanout)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gen: hierarchy for %q: %w", a.Name, err)
+		}
+		out[a.Name] = h
+	}
+	return out, nil
+}
+
+// ItemHierarchy builds a balanced hierarchy over the dataset's item domain.
+func ItemHierarchy(ds *dataset.Dataset, fanout int) (*hierarchy.Hierarchy, error) {
+	dom := ds.ItemDomain()
+	if len(dom) == 0 {
+		return nil, fmt.Errorf("gen: dataset has no items")
+	}
+	return hierarchy.AutoCategorical(ds.TransName, dom, fanout)
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCensusShape(t *testing.T) {
+	ds := Census(Config{Records: 500, Items: 50, Seed: 1})
+	if ds.Len() != 500 {
+		t.Fatalf("records = %d", ds.Len())
+	}
+	if len(ds.Attrs) != 5 || !ds.HasTransaction() {
+		t.Fatalf("schema = %v, trans=%q", ds.Attrs, ds.TransName)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := ds.SummarizeTransactions()
+	if st.MinSize < 1 || st.MaxSize > 6 {
+		t.Errorf("basket sizes = %+v", st)
+	}
+	sum, err := ds.Summarize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Min < 18 || sum.Max > 89 {
+		t.Errorf("ages = %+v", sum)
+	}
+}
+
+func TestCensusDeterministic(t *testing.T) {
+	a := Census(Config{Records: 100, Items: 20, Seed: 42})
+	b := Census(Config{Records: 100, Items: 20, Seed: 42})
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Error("same seed produced different data")
+	}
+	c := Census(Config{Records: 100, Items: 20, Seed: 43})
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestCensusZipfSkew(t *testing.T) {
+	ds := Census(Config{Records: 2000, Items: 100, Seed: 7})
+	h := ds.ItemHistogram()
+	if len(h) < 10 {
+		t.Fatalf("too few distinct items: %d", len(h))
+	}
+	// Zipf: the most popular item should dominate the median item.
+	if h[0].Count < 5*h[len(h)/2].Count {
+		t.Errorf("no skew: top=%d median=%d", h[0].Count, h[len(h)/2].Count)
+	}
+}
+
+func TestCensusNoTransaction(t *testing.T) {
+	ds := Census(Config{Records: 50, Items: 0, Seed: 1})
+	if ds.HasTransaction() {
+		t.Error("transaction attribute present with Items=0")
+	}
+	if _, err := ItemHierarchy(ds, 2); err == nil {
+		t.Error("ItemHierarchy accepted itemless dataset")
+	}
+}
+
+func TestHierarchiesCoverData(t *testing.T) {
+	ds := Census(Config{Records: 300, Items: 30, Seed: 3})
+	hs, err := Hierarchies(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range ds.Attrs {
+		h := hs[a.Name]
+		if h == nil {
+			t.Fatalf("no hierarchy for %q", a.Name)
+		}
+		for _, v := range ds.Domain(i) {
+			if !h.Contains(v) {
+				t.Fatalf("hierarchy %q misses value %q", a.Name, v)
+			}
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ih, err := ItemHierarchy(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range ds.ItemDomain() {
+		if !ih.Contains(it) {
+			t.Fatalf("item hierarchy misses %q", it)
+		}
+	}
+}
+
+func TestItemName(t *testing.T) {
+	if ItemName(3) != "i0003" || ItemName(123) != "i0123" {
+		t.Errorf("ItemName = %q, %q", ItemName(3), ItemName(123))
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	ds := Census(Config{})
+	if ds.Len() != 1000 {
+		t.Errorf("default records = %d", ds.Len())
+	}
+	var c Config
+	c.fill()
+	if c.MaxBasket != 6 || c.ZipfS != 1.2 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

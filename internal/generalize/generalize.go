@@ -1,0 +1,237 @@
+// Package generalize implements the recoding operators anonymization
+// algorithms apply to datasets: full-domain recoding driven by lattice level
+// vectors (Incognito), cut-based subtree recoding (top-down, bottom-up,
+// Apriori), local recoding of record groups to least common ancestors
+// (Cluster, LRA), item-set recoding through hierarchy cuts, and record
+// suppression.
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"secreta/internal/dataset"
+	"secreta/internal/hierarchy"
+)
+
+// Suppressed is the value standing for a suppressed cell or item.
+const Suppressed = "*"
+
+// Set maps attribute names to their hierarchies.
+type Set map[string]*hierarchy.Hierarchy
+
+// ForQIs resolves hierarchies for the given QI column indices, failing when
+// one is missing.
+func (s Set) ForQIs(ds *dataset.Dataset, qis []int) ([]*hierarchy.Hierarchy, error) {
+	out := make([]*hierarchy.Hierarchy, len(qis))
+	for i, q := range qis {
+		name := ds.Attrs[q].Name
+		h := s[name]
+		if h == nil {
+			return nil, fmt.Errorf("generalize: no hierarchy for attribute %q", name)
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// FullDomain recodes every QI value of ds to its ancestor levels[i] steps up
+// in the attribute's hierarchy, returning a new dataset. levels is aligned
+// with qis.
+func FullDomain(ds *dataset.Dataset, hs Set, qis []int, levels []int) (*dataset.Dataset, error) {
+	if len(levels) != len(qis) {
+		return nil, fmt.Errorf("generalize: %d levels for %d QIs", len(levels), len(qis))
+	}
+	hh, err := hs.ForQIs(ds, qis)
+	if err != nil {
+		return nil, err
+	}
+	out := ds.Clone()
+	// Memoize per attribute: original value -> generalized value.
+	memo := make([]map[string]string, len(qis))
+	for i := range memo {
+		memo[i] = make(map[string]string)
+	}
+	for r := range out.Records {
+		for i, q := range qis {
+			v := out.Records[r].Values[q]
+			g, ok := memo[i][v]
+			if !ok {
+				g, err = hh[i].GeneralizeLevels(v, levels[i])
+				if err != nil {
+					return nil, err
+				}
+				memo[i][v] = g
+			}
+			out.Records[r].Values[q] = g
+		}
+	}
+	return out, nil
+}
+
+// ApplyCuts recodes every QI value through its attribute's cut, returning a
+// new dataset. cuts is keyed by attribute name and must cover every QI.
+func ApplyCuts(ds *dataset.Dataset, cuts map[string]*hierarchy.Cut, qis []int) (*dataset.Dataset, error) {
+	for _, q := range qis {
+		if cuts[ds.Attrs[q].Name] == nil {
+			return nil, fmt.Errorf("generalize: no cut for attribute %q", ds.Attrs[q].Name)
+		}
+	}
+	out := ds.Clone()
+	for r := range out.Records {
+		for _, q := range qis {
+			c := cuts[out.Attrs[q].Name]
+			g, err := c.Map(out.Records[r].Values[q])
+			if err != nil {
+				return nil, err
+			}
+			out.Records[r].Values[q] = g
+		}
+	}
+	return out, nil
+}
+
+// GroupToLCA recodes the QI values of the records at the given indices (in
+// place) to the least common ancestor of the group per attribute — the
+// local-recoding step of clustering algorithms.
+func GroupToLCA(ds *dataset.Dataset, hs Set, qis []int, group []int) error {
+	hh, err := hs.ForQIs(ds, qis)
+	if err != nil {
+		return err
+	}
+	if len(group) == 0 {
+		return nil
+	}
+	for i, q := range qis {
+		vals := make([]string, len(group))
+		for j, r := range group {
+			vals[j] = ds.Records[r].Values[q]
+		}
+		lca, err := hh[i].LCASet(vals)
+		if err != nil {
+			return err
+		}
+		for _, r := range group {
+			ds.Records[r].Values[q] = lca.Value
+		}
+	}
+	return nil
+}
+
+// GroupLCAValues computes, without mutating ds, the per-QI LCA values a
+// group would be generalized to.
+func GroupLCAValues(ds *dataset.Dataset, hs Set, qis []int, group []int) ([]string, error) {
+	hh, err := hs.ForQIs(ds, qis)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(qis))
+	for i, q := range qis {
+		vals := make([]string, len(group))
+		for j, r := range group {
+			vals[j] = ds.Records[r].Values[q]
+		}
+		lca, err := hh[i].LCASet(vals)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = lca.Value
+	}
+	return out, nil
+}
+
+// SuppressRecord replaces all QI values of record r with the Suppressed
+// marker and clears its items.
+func SuppressRecord(ds *dataset.Dataset, qis []int, r int) {
+	for _, q := range qis {
+		ds.Records[r].Values[q] = Suppressed
+	}
+	ds.Records[r].Items = nil
+}
+
+// IsSuppressed reports whether record r has been suppressed (all QI cells
+// carry the marker).
+func IsSuppressed(ds *dataset.Dataset, qis []int, r int) bool {
+	if len(qis) == 0 {
+		return false
+	}
+	for _, q := range qis {
+		if ds.Records[r].Values[q] != Suppressed {
+			return false
+		}
+	}
+	return true
+}
+
+// MapItems recodes an item multiset through a cut over the item hierarchy,
+// returning the sorted, deduplicated generalized item set.
+func MapItems(items []string, cut *hierarchy.Cut) ([]string, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	seen := make(map[string]struct{}, len(items))
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		g, err := cut.Map(it)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ApplyItemCut recodes the transaction part of every record through the
+// cut, returning a new dataset.
+func ApplyItemCut(ds *dataset.Dataset, cut *hierarchy.Cut) (*dataset.Dataset, error) {
+	out := ds.Clone()
+	for r := range out.Records {
+		items, err := MapItems(out.Records[r].Items, cut)
+		if err != nil {
+			return nil, err
+		}
+		out.Records[r].Items = items
+	}
+	return out, nil
+}
+
+// ApplyItemMapping recodes items via an explicit mapping table (COAT/PCTA
+// style generalization, where generalized items are arbitrary item groups
+// rather than hierarchy nodes). Items absent from the mapping pass through;
+// items mapped to the empty string are suppressed (dropped).
+func ApplyItemMapping(ds *dataset.Dataset, mapping map[string]string) *dataset.Dataset {
+	out := ds.Clone()
+	for r := range out.Records {
+		items := out.Records[r].Items
+		if len(items) == 0 {
+			continue
+		}
+		seen := make(map[string]struct{}, len(items))
+		mapped := make([]string, 0, len(items))
+		for _, it := range items {
+			g, ok := mapping[it]
+			if !ok {
+				g = it
+			}
+			if g == "" {
+				continue // suppressed
+			}
+			if _, dup := seen[g]; dup {
+				continue
+			}
+			seen[g] = struct{}{}
+			mapped = append(mapped, g)
+		}
+		sort.Strings(mapped)
+		if len(mapped) == 0 {
+			mapped = nil
+		}
+		out.Records[r].Items = mapped
+	}
+	return out
+}

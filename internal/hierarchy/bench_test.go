@@ -1,0 +1,71 @@
+package hierarchy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchHierarchy(b *testing.B, n, fanout int) *Hierarchy {
+	b.Helper()
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%05d", i)
+	}
+	h, err := AutoCategorical("B", vals, fanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkLCA(b *testing.B) {
+	h := benchHierarchy(b, 1024, 4)
+	leaves := h.Leaves()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := leaves[i%len(leaves)]
+		c := leaves[(i*7+13)%len(leaves)]
+		if _, err := h.LCA(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralizeLevels(b *testing.B) {
+	h := benchHierarchy(b, 1024, 4)
+	leaves := h.Leaves()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.GeneralizeLevels(leaves[i%len(leaves)], 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutoCategorical(b *testing.B) {
+	vals := make([]string, 2048)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%05d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AutoCategorical("B", vals, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCutMap(b *testing.B) {
+	h := benchHierarchy(b, 1024, 4)
+	c := NewCut(h)
+	if err := c.Specialize(h.Root.Value); err != nil {
+		b.Fatal(err)
+	}
+	leaves := h.Leaves()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Map(leaves[i%len(leaves)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

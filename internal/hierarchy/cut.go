@@ -1,0 +1,186 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cut is an antichain through a hierarchy that covers every leaf exactly
+// once: the state of subtree-style generalization schemes. Top-down
+// specialization starts from the root cut and refines it; bottom-up
+// generalization starts from the leaf cut and coarsens it; the Apriori
+// transaction algorithm moves a cut over the item hierarchy.
+type Cut struct {
+	h *Hierarchy
+	// in marks the nodes currently on the cut.
+	in map[*Node]bool
+}
+
+// NewCut returns the most general cut: just the root.
+func NewCut(h *Hierarchy) *Cut {
+	return &Cut{h: h, in: map[*Node]bool{h.Root: true}}
+}
+
+// NewLeafCut returns the most specific cut: all leaves.
+func NewLeafCut(h *Hierarchy) *Cut {
+	c := &Cut{h: h, in: make(map[*Node]bool)}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			c.in[n] = true
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(h.Root)
+	return c
+}
+
+// Hierarchy returns the hierarchy the cut runs through.
+func (c *Cut) Hierarchy() *Hierarchy { return c.h }
+
+// Clone copies the cut.
+func (c *Cut) Clone() *Cut {
+	in := make(map[*Node]bool, len(c.in))
+	for n := range c.in {
+		in[n] = true
+	}
+	return &Cut{h: c.h, in: in}
+}
+
+// Contains reports whether the node for value is on the cut.
+func (c *Cut) Contains(value string) bool {
+	n := c.h.Node(value)
+	return n != nil && c.in[n]
+}
+
+// Nodes returns the cut's nodes sorted by value for deterministic output.
+func (c *Cut) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.in))
+	for n := range c.in {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// Values returns the cut's values, sorted.
+func (c *Cut) Values() []string {
+	ns := c.Nodes()
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Value
+	}
+	return out
+}
+
+// Map returns the cut value covering the given original value: the unique
+// cut ancestor (or the value itself when it is on the cut).
+func (c *Cut) Map(value string) (string, error) {
+	n := c.h.Node(value)
+	if n == nil {
+		return "", fmt.Errorf("hierarchy %s: unknown value %q", c.h.Attr, value)
+	}
+	for m := n; m != nil; m = m.Parent {
+		if c.in[m] {
+			return m.Value, nil
+		}
+	}
+	// The value sits strictly above the cut (already more general than the
+	// cut allows); map it to itself.
+	return n.Value, nil
+}
+
+// Specialize replaces a cut node with its children (top-down refinement).
+// Leaf nodes cannot be specialized.
+func (c *Cut) Specialize(value string) error {
+	n := c.h.Node(value)
+	if n == nil {
+		return fmt.Errorf("hierarchy %s: unknown value %q", c.h.Attr, value)
+	}
+	if !c.in[n] {
+		return fmt.Errorf("hierarchy %s: %q is not on the cut", c.h.Attr, value)
+	}
+	if n.IsLeaf() {
+		return fmt.Errorf("hierarchy %s: cannot specialize leaf %q", c.h.Attr, value)
+	}
+	delete(c.in, n)
+	for _, ch := range n.Children {
+		c.in[ch] = true
+	}
+	return nil
+}
+
+// Generalize replaces a cut node and all its cut siblings (every cut node
+// under the parent) with the parent (bottom-up coarsening). It requires all
+// of the parent's leaf coverage to come from cut nodes, which holds for any
+// valid cut.
+func (c *Cut) Generalize(value string) error {
+	n := c.h.Node(value)
+	if n == nil {
+		return fmt.Errorf("hierarchy %s: unknown value %q", c.h.Attr, value)
+	}
+	if !c.in[n] {
+		return fmt.Errorf("hierarchy %s: %q is not on the cut", c.h.Attr, value)
+	}
+	p := n.Parent
+	if p == nil {
+		return fmt.Errorf("hierarchy %s: cannot generalize the root", c.h.Attr)
+	}
+	// Remove every cut node in p's subtree, then add p.
+	var sweep func(m *Node)
+	sweep = func(m *Node) {
+		if c.in[m] {
+			delete(c.in, m)
+			return
+		}
+		for _, ch := range m.Children {
+			sweep(ch)
+		}
+	}
+	sweep(p)
+	c.in[p] = true
+	return nil
+}
+
+// Validate checks the antichain property: every leaf has exactly one cut
+// ancestor (counting itself).
+func (c *Cut) Validate() error {
+	var walk func(n *Node, covered int) error
+	walk = func(n *Node, covered int) error {
+		if c.in[n] {
+			covered++
+		}
+		if n.IsLeaf() {
+			if covered != 1 {
+				return fmt.Errorf("hierarchy %s: leaf %q covered %d times by cut", c.h.Attr, n.Value, covered)
+			}
+			return nil
+		}
+		for _, ch := range n.Children {
+			if err := walk(ch, covered); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(c.h.Root, 0)
+}
+
+// NCP returns the average NCP of the cut's nodes weighted by the number of
+// leaves each covers — the information loss of publishing at this cut,
+// assuming uniform leaf frequencies.
+func (c *Cut) NCP() float64 {
+	total := c.h.Root.leafCount
+	if total <= 1 {
+		return 0
+	}
+	sum := 0.0
+	for n := range c.in {
+		ncp := float64(n.leafCount-1) / float64(total-1)
+		sum += ncp * float64(n.leafCount)
+	}
+	return sum / float64(total)
+}

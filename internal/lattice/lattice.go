@@ -1,0 +1,236 @@
+// Package lattice implements the generalization lattice of full-domain
+// recoding schemes: the product of per-attribute hierarchy levels, ordered
+// componentwise. Incognito walks this lattice bottom-up, exploiting the
+// roll-up property (generalizations of a k-anonymous node are k-anonymous)
+// to prune checks.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lattice is the level-vector lattice for a set of attributes with the
+// given hierarchy heights. Node i ranges over 0..heights[i].
+type Lattice struct {
+	heights []int
+}
+
+// New creates a lattice; every height must be non-negative.
+func New(heights []int) (*Lattice, error) {
+	if len(heights) == 0 {
+		return nil, fmt.Errorf("lattice: no attributes")
+	}
+	for i, h := range heights {
+		if h < 0 {
+			return nil, fmt.Errorf("lattice: negative height %d at attribute %d", h, i)
+		}
+	}
+	return &Lattice{heights: append([]int(nil), heights...)}, nil
+}
+
+// Dims returns the number of attributes.
+func (l *Lattice) Dims() int { return len(l.heights) }
+
+// Heights returns a copy of the per-attribute maximum levels.
+func (l *Lattice) Heights() []int { return append([]int(nil), l.heights...) }
+
+// Bottom returns the all-zero node (no generalization).
+func (l *Lattice) Bottom() []int { return make([]int, len(l.heights)) }
+
+// Top returns the fully generalized node.
+func (l *Lattice) Top() []int { return append([]int(nil), l.heights...) }
+
+// Size returns the total number of lattice nodes.
+func (l *Lattice) Size() int {
+	n := 1
+	for _, h := range l.heights {
+		n *= h + 1
+	}
+	return n
+}
+
+// Contains reports whether node is inside the lattice bounds.
+func (l *Lattice) Contains(node []int) bool {
+	if len(node) != len(l.heights) {
+		return false
+	}
+	for i, v := range node {
+		if v < 0 || v > l.heights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Level returns the node's height (component sum), the BFS stratum
+// Incognito processes together.
+func (l *Lattice) Level(node []int) int {
+	s := 0
+	for _, v := range node {
+		s += v
+	}
+	return s
+}
+
+// MaxLevel returns the top node's height.
+func (l *Lattice) MaxLevel() int {
+	s := 0
+	for _, h := range l.heights {
+		s += h
+	}
+	return s
+}
+
+// Successors returns the nodes reachable by generalizing exactly one
+// attribute one level.
+func (l *Lattice) Successors(node []int) [][]int {
+	var out [][]int
+	for i := range node {
+		if node[i] < l.heights[i] {
+			succ := append([]int(nil), node...)
+			succ[i]++
+			out = append(out, succ)
+		}
+	}
+	return out
+}
+
+// Predecessors returns the nodes reachable by specializing exactly one
+// attribute one level.
+func (l *Lattice) Predecessors(node []int) [][]int {
+	var out [][]int
+	for i := range node {
+		if node[i] > 0 {
+			pred := append([]int(nil), node...)
+			pred[i]--
+			out = append(out, pred)
+		}
+	}
+	return out
+}
+
+// Dominates reports whether a >= b componentwise (a is a generalization of
+// b).
+func Dominates(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key encodes a node as a map key.
+func Key(node []int) string {
+	b := make([]byte, 0, len(node)*3)
+	for i, v := range node {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendInt(b, v)
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// NodesAtLevel enumerates all nodes whose component sum equals level, in
+// lexicographic order. Incognito's BFS visits strata in increasing level.
+func (l *Lattice) NodesAtLevel(level int) [][]int {
+	var out [][]int
+	node := make([]int, len(l.heights))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(node)-1 {
+			if remaining <= l.heights[i] {
+				node[i] = remaining
+				out = append(out, append([]int(nil), node...))
+			}
+			return
+		}
+		max := remaining
+		if max > l.heights[i] {
+			max = l.heights[i]
+		}
+		for v := 0; v <= max; v++ {
+			node[i] = v
+			rec(i+1, remaining-v)
+		}
+	}
+	if level >= 0 && level <= l.MaxLevel() {
+		rec(0, level)
+	}
+	return out
+}
+
+// Walk visits every lattice node in BFS (level) order, stopping early when
+// fn returns false.
+func (l *Lattice) Walk(fn func(node []int) bool) {
+	for lvl := 0; lvl <= l.MaxLevel(); lvl++ {
+		for _, n := range l.NodesAtLevel(lvl) {
+			if !fn(n) {
+				return
+			}
+		}
+	}
+}
+
+// MinimalNodes filters a set of nodes down to its minimal elements under
+// the dominance order (no kept node dominates another kept node). The
+// result is sorted by level then lexicographically, for determinism.
+func MinimalNodes(nodes [][]int) [][]int {
+	var out [][]int
+	for i, a := range nodes {
+		minimal := true
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			if Dominates(a, b) && !Dominates(b, a) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := 0, 0
+		for _, v := range out[i] {
+			si += v
+		}
+		for _, v := range out[j] {
+			sj += v
+		}
+		if si != sj {
+			return si < sj
+		}
+		return Key(out[i]) < Key(out[j])
+	})
+	// Deduplicate equal nodes.
+	dedup := out[:0]
+	for i, n := range out {
+		if i > 0 && Key(out[i-1]) == Key(n) {
+			continue
+		}
+		dedup = append(dedup, n)
+	}
+	return dedup
+}

@@ -1,0 +1,168 @@
+package lattice
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, heights []int) *Lattice {
+	t.Helper()
+	l, err := New(heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty heights accepted")
+	}
+	if _, err := New([]int{1, -1}); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func TestBasics(t *testing.T) {
+	l := mustNew(t, []int{2, 1, 3})
+	if l.Dims() != 3 {
+		t.Errorf("Dims = %d", l.Dims())
+	}
+	if got := l.Bottom(); !reflect.DeepEqual(got, []int{0, 0, 0}) {
+		t.Errorf("Bottom = %v", got)
+	}
+	if got := l.Top(); !reflect.DeepEqual(got, []int{2, 1, 3}) {
+		t.Errorf("Top = %v", got)
+	}
+	if l.Size() != 3*2*4 {
+		t.Errorf("Size = %d", l.Size())
+	}
+	if l.MaxLevel() != 6 {
+		t.Errorf("MaxLevel = %d", l.MaxLevel())
+	}
+	if !l.Contains([]int{2, 0, 3}) || l.Contains([]int{3, 0, 0}) || l.Contains([]int{0, 0}) {
+		t.Error("Contains wrong")
+	}
+	if l.Level([]int{1, 1, 2}) != 4 {
+		t.Error("Level wrong")
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	l := mustNew(t, []int{1, 1})
+	succ := l.Successors([]int{0, 0})
+	if len(succ) != 2 {
+		t.Fatalf("successors of bottom = %v", succ)
+	}
+	if len(l.Successors([]int{1, 1})) != 0 {
+		t.Error("top has successors")
+	}
+	pred := l.Predecessors([]int{1, 1})
+	if len(pred) != 2 {
+		t.Fatalf("predecessors of top = %v", pred)
+	}
+	if len(l.Predecessors([]int{0, 0})) != 0 {
+		t.Error("bottom has predecessors")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]int{2, 1}, []int{1, 1}) || !Dominates([]int{1, 1}, []int{1, 1}) {
+		t.Error("Dominates misses")
+	}
+	if Dominates([]int{0, 2}, []int{1, 1}) || Dominates([]int{1}, []int{1, 1}) {
+		t.Error("Dominates accepts wrongly")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if Key([]int{0, 10, 3}) != "0,10,3" {
+		t.Errorf("Key = %q", Key([]int{0, 10, 3}))
+	}
+}
+
+func TestNodesAtLevelCoversLattice(t *testing.T) {
+	l := mustNew(t, []int{2, 1, 3})
+	total := 0
+	seen := make(map[string]bool)
+	for lvl := 0; lvl <= l.MaxLevel(); lvl++ {
+		for _, n := range l.NodesAtLevel(lvl) {
+			if l.Level(n) != lvl {
+				t.Fatalf("node %v at wrong level", n)
+			}
+			k := Key(n)
+			if seen[k] {
+				t.Fatalf("duplicate node %v", n)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != l.Size() {
+		t.Errorf("enumerated %d nodes, want %d", total, l.Size())
+	}
+	if len(l.NodesAtLevel(-1)) != 0 || len(l.NodesAtLevel(99)) != 0 {
+		t.Error("out-of-range levels yield nodes")
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	l := mustNew(t, []int{1, 1})
+	var order []string
+	l.Walk(func(n []int) bool {
+		order = append(order, Key(n))
+		return true
+	})
+	want := []string{"0,0", "0,1", "1,0", "1,1"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("walk order = %v", order)
+	}
+	count := 0
+	l.Walk(func(n []int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestMinimalNodes(t *testing.T) {
+	nodes := [][]int{{2, 2}, {1, 0}, {0, 1}, {1, 1}, {0, 1}}
+	min := MinimalNodes(nodes)
+	want := [][]int{{0, 1}, {1, 0}}
+	if !reflect.DeepEqual(min, want) {
+		t.Errorf("MinimalNodes = %v, want %v", min, want)
+	}
+}
+
+// Property: successors and predecessors are dual, and successors increase
+// level by exactly one.
+func TestSuccPredDualityProperty(t *testing.T) {
+	l := mustNew(t, []int{2, 3, 1})
+	f := func(a, b, c uint8) bool {
+		n := []int{int(a) % 3, int(b) % 4, int(c) % 2}
+		for _, s := range l.Successors(n) {
+			if l.Level(s) != l.Level(n)+1 {
+				return false
+			}
+			found := false
+			for _, p := range l.Predecessors(s) {
+				if Key(p) == Key(n) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			if !Dominates(s, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

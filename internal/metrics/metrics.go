@@ -1,0 +1,321 @@
+// Package metrics implements the data utility indicators SECRETA reports:
+// NCP/GCP information loss for relational attributes (Xu et al.), NCP and
+// UL utility loss for transaction data (Terrovitis et al.; Loukides et al.
+// COAT), discernibility, normalized average class size, suppression ratio,
+// and the per-value frequency error plots of the Evaluation mode.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/privacy"
+)
+
+// GCP computes the Generalized Certainty Penalty of an anonymized dataset:
+// the average NCP over all QI cells. Suppressed cells and values missing
+// from the hierarchy (e.g. arbitrary group labels) count as total loss (1).
+// The result is in [0,1]; 0 means the data is unchanged.
+func GCP(anon *dataset.Dataset, hs generalize.Set, qis []int) (float64, error) {
+	if len(anon.Records) == 0 || len(qis) == 0 {
+		return 0, nil
+	}
+	hh, err := hs.ForQIs(anon, qis)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	memo := make([]map[string]float64, len(qis))
+	for i := range memo {
+		memo[i] = make(map[string]float64)
+	}
+	for r := range anon.Records {
+		for i, q := range qis {
+			v := anon.Records[r].Values[q]
+			ncp, ok := memo[i][v]
+			if !ok {
+				if v == generalize.Suppressed || !hh[i].Contains(v) {
+					ncp = 1
+				} else {
+					ncp, err = hh[i].NCP(v)
+					if err != nil {
+						return 0, err
+					}
+				}
+				memo[i][v] = ncp
+			}
+			total += ncp
+		}
+	}
+	return total / float64(len(anon.Records)*len(qis)), nil
+}
+
+// TransactionGCP computes the average information loss of the transaction
+// attribute: for every item occurrence in the original dataset, the NCP of
+// the generalized item covering it in the anonymized record, or 1 when the
+// item disappeared (suppression). orig and anon must be record-aligned.
+func TransactionGCP(orig, anon *dataset.Dataset, itemH *hierarchy.Hierarchy) (float64, error) {
+	if len(orig.Records) != len(anon.Records) {
+		return 0, fmt.Errorf("metrics: datasets not aligned (%d vs %d records)", len(orig.Records), len(anon.Records))
+	}
+	occurrences := 0
+	loss := 0.0
+	for r := range orig.Records {
+		anonItems := anon.Records[r].Items
+		for _, it := range orig.Records[r].Items {
+			occurrences++
+			covered := ""
+			for _, g := range anonItems {
+				if g == it || itemH.Covers(g, it) {
+					covered = g
+					break
+				}
+			}
+			if covered == "" {
+				loss++ // suppressed
+				continue
+			}
+			ncp, err := itemH.NCP(covered)
+			if err != nil {
+				return 0, err
+			}
+			loss += ncp
+		}
+	}
+	if occurrences == 0 {
+		return 0, nil
+	}
+	return loss / float64(occurrences), nil
+}
+
+// ItemGroup describes a generalized item as the set of original items it
+// stands for, used by mapping-based algorithms (COAT, PCTA).
+type ItemGroup struct {
+	Label string
+	Items []string
+}
+
+// UL computes COAT's utility loss of a generalization mapping over the
+// anonymized dataset: for each generalized item g standing for a group I of
+// original items, UL(g) = (2^|I| - 1) * w(g) * support(g), summed and
+// normalized by (2^|D| - 1) * N so datasets of different sizes compare.
+// Suppressed items (mapped to the empty label) are charged their original
+// support at full group weight. Weights default to 1; exponents are capped
+// to keep the arithmetic finite.
+func UL(orig, anon *dataset.Dataset, mapping map[string]string, weights map[string]float64) (float64, error) {
+	if len(orig.Records) != len(anon.Records) {
+		return 0, fmt.Errorf("metrics: datasets not aligned (%d vs %d records)", len(orig.Records), len(anon.Records))
+	}
+	n := len(orig.Records)
+	if n == 0 {
+		return 0, nil
+	}
+	domain := orig.ItemDomain()
+	if len(domain) == 0 {
+		return 0, nil
+	}
+	groups := make(map[string][]string) // label -> original items
+	for item, label := range mapping {
+		groups[label] = append(groups[label], item)
+	}
+	weight := func(label string) float64 {
+		if weights == nil {
+			return 1
+		}
+		if w, ok := weights[label]; ok {
+			return w
+		}
+		return 1
+	}
+	pow2 := func(k int) float64 {
+		if k > 60 {
+			k = 60
+		}
+		return math.Pow(2, float64(k)) - 1
+	}
+	// Support of each generalized label in the anonymized data.
+	support := make(map[string]int)
+	for r := range anon.Records {
+		for _, g := range anon.Records[r].Items {
+			support[g]++
+		}
+	}
+	// Support of suppressed items in the original data.
+	suppressedSupport := 0.0
+	loss := 0.0
+	for label, items := range groups {
+		if label == "" {
+			origSupport := make(map[string]int)
+			for r := range orig.Records {
+				for _, it := range orig.Records[r].Items {
+					origSupport[it]++
+				}
+			}
+			for _, it := range items {
+				suppressedSupport += pow2(1) * float64(origSupport[it])
+			}
+			continue
+		}
+		if len(items) <= 1 {
+			continue // identity mapping loses nothing
+		}
+		loss += pow2(len(items)) * weight(label) * float64(support[label])
+	}
+	loss += suppressedSupport
+	norm := pow2(len(domain)) * float64(n)
+	if norm == 0 {
+		return 0, nil
+	}
+	return loss / norm, nil
+}
+
+// Discernibility computes the discernibility metric: each record is charged
+// the size of its equivalence class; suppressed records are charged the
+// dataset size.
+func Discernibility(ds *dataset.Dataset, qis []int) float64 {
+	n := len(ds.Records)
+	if n == 0 {
+		return 0
+	}
+	classes := privacy.Partition(ds, qis)
+	covered := 0
+	sum := 0.0
+	for _, c := range classes {
+		sum += float64(len(c.Records) * len(c.Records))
+		covered += len(c.Records)
+	}
+	sum += float64((n - covered) * n) // suppressed records
+	return sum
+}
+
+// CAVG computes the normalized average equivalence class size metric:
+// (records / classes) / k. Values near 1 indicate classes close to the
+// minimum size k.
+func CAVG(ds *dataset.Dataset, qis []int, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	classes := privacy.Partition(ds, qis)
+	if len(classes) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, c := range classes {
+		covered += len(c.Records)
+	}
+	return float64(covered) / float64(len(classes)) / float64(k)
+}
+
+// SuppressionRatio returns the fraction of records suppressed in anon.
+func SuppressionRatio(anon *dataset.Dataset, qis []int) float64 {
+	if len(anon.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for r := range anon.Records {
+		if generalize.IsSuppressed(anon, qis, r) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(anon.Records))
+}
+
+// ValueError is one bar of the frequency-error plots (Evaluation mode,
+// plots (c) and (d) of Figure 3): a value, its original frequency, the
+// frequency estimated from the anonymized data, and the relative error.
+type ValueError struct {
+	Value    string
+	Original float64
+	Estimate float64
+	RelError float64
+}
+
+// ItemFrequencyError compares original item frequencies against the
+// frequencies reconstructed from the anonymized data, spreading each
+// generalized item's support uniformly over the leaves it covers (items not
+// in the hierarchy count only for themselves). Results are sorted by value.
+func ItemFrequencyError(orig, anon *dataset.Dataset, itemH *hierarchy.Hierarchy) []ValueError {
+	origCount := make(map[string]float64)
+	for r := range orig.Records {
+		for _, it := range orig.Records[r].Items {
+			origCount[it]++
+		}
+	}
+	est := make(map[string]float64)
+	for r := range anon.Records {
+		for _, g := range anon.Records[r].Items {
+			n := itemH.Node(g)
+			if n == nil || n.IsLeaf() {
+				est[g]++
+				continue
+			}
+			leaves := n.Leaves()
+			share := 1.0 / float64(len(leaves))
+			for _, leaf := range leaves {
+				est[leaf] += share
+			}
+		}
+	}
+	return valueErrors(origCount, est)
+}
+
+// AttributeFrequencyError compares original value frequencies of relational
+// attribute qi against frequencies reconstructed from the anonymized data,
+// spreading generalized values uniformly over covered leaves.
+func AttributeFrequencyError(orig, anon *dataset.Dataset, h *hierarchy.Hierarchy, qi int) []ValueError {
+	origCount := make(map[string]float64)
+	for r := range orig.Records {
+		origCount[orig.Records[r].Values[qi]]++
+	}
+	est := make(map[string]float64)
+	for r := range anon.Records {
+		v := anon.Records[r].Values[qi]
+		if v == generalize.Suppressed {
+			continue
+		}
+		n := h.Node(v)
+		if n == nil || n.IsLeaf() {
+			est[v]++
+			continue
+		}
+		leaves := n.Leaves()
+		share := 1.0 / float64(len(leaves))
+		for _, leaf := range leaves {
+			est[leaf] += share
+		}
+	}
+	return valueErrors(origCount, est)
+}
+
+func valueErrors(orig, est map[string]float64) []ValueError {
+	vals := make([]string, 0, len(orig))
+	for v := range orig {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	out := make([]ValueError, 0, len(vals))
+	for _, v := range vals {
+		o, e := orig[v], est[v]
+		denom := o
+		if denom < 1 {
+			denom = 1
+		}
+		out = append(out, ValueError{
+			Value:    v,
+			Original: o,
+			Estimate: e,
+			RelError: math.Abs(e-o) / denom,
+		})
+	}
+	return out
+}
+
+// GeneralizedFrequencies returns the frequency histogram of a relational
+// attribute in the anonymized dataset — plot (c) of the Evaluation mode.
+func GeneralizedFrequencies(anon *dataset.Dataset, qi int) []dataset.Frequency {
+	return anon.Histogram(qi)
+}

@@ -1,0 +1,278 @@
+// Package plot is SECRETA's Plotting Module: it renders the data
+// visualizations of the Evaluation and Comparison modes — histograms,
+// utility-indicator-vs-parameter curves, runtime phase breakdowns — as
+// ASCII charts for the terminal and as SVG documents for export. The
+// series data is identical to what the paper's QWT widgets display; only
+// the rendering medium differs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Label string
+	Xs    []float64
+	Ys    []float64
+}
+
+// Kind selects the chart geometry.
+type Kind int
+
+const (
+	// Line connects points with markers per series.
+	Line Kind = iota
+	// Bar draws one bar per X position (first series only).
+	Bar
+)
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Kind   Kind
+	Series []Series
+	// XTicks optionally labels bar positions (categorical X axes).
+	XTicks []string
+}
+
+// NewLine builds a line chart from series.
+func NewLine(title, xlabel, ylabel string, series ...Series) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Kind: Line, Series: series}
+}
+
+// NewBar builds a bar chart over categorical labels.
+func NewBar(title, xlabel, ylabel string, labels []string, values []float64) *Chart {
+	xs := make([]float64, len(values))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return &Chart{
+		Title: title, XLabel: xlabel, YLabel: ylabel, Kind: Bar,
+		Series: []Series{{Label: ylabel, Xs: xs, Ys: values}},
+		XTicks: labels,
+	}
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			if i >= len(s.Ys) {
+				break
+			}
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 1, 0, 1, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Bars read better anchored at zero.
+	if c.Kind == Bar && ymin > 0 {
+		ymin = 0
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// ASCII renders the chart as monospace text of roughly width x height
+// cells (minimums are enforced).
+func (c *Chart) ASCII(width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title + "\n")
+	}
+	if !ok {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	const yLabelW = 10
+	plotW := width - yLabelW - 1
+	plotH := height
+	grid := make([][]byte, plotH)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotW))
+	}
+	toCol := func(x float64) int {
+		col := int((x - xmin) / (xmax - xmin) * float64(plotW-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= plotW {
+			col = plotW - 1
+		}
+		return col
+	}
+	toRow := func(y float64) int {
+		row := int((ymax - y) / (ymax - ymin) * float64(plotH-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= plotH {
+			row = plotH - 1
+		}
+		return row
+	}
+	switch c.Kind {
+	case Bar:
+		if len(c.Series) > 0 {
+			s := c.Series[0]
+			n := len(s.Ys)
+			if n > 0 {
+				bw := plotW / n
+				if bw < 1 {
+					bw = 1
+				}
+				for i, y := range s.Ys {
+					col0 := i * plotW / n
+					top := toRow(y)
+					base := toRow(math.Max(ymin, 0))
+					if top > base {
+						top, base = base, top
+					}
+					for r := top; r <= base; r++ {
+						for b := 0; b < bw-1 && col0+b < plotW; b++ {
+							grid[r][col0+b] = '#'
+						}
+					}
+				}
+			}
+		}
+	default:
+		for si, s := range c.Series {
+			m := markers[si%len(markers)]
+			prevCol, prevRow := -1, -1
+			for i := range s.Xs {
+				if i >= len(s.Ys) || math.IsNaN(s.Ys[i]) {
+					prevCol = -1
+					continue
+				}
+				col, row := toCol(s.Xs[i]), toRow(s.Ys[i])
+				if prevCol >= 0 {
+					drawLine(grid, prevCol, prevRow, col, row, '.')
+				}
+				grid[row][col] = m
+				prevCol, prevRow = col, row
+			}
+		}
+	}
+	for r := 0; r < plotH; r++ {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(plotH-1)
+		label := ""
+		if r == 0 || r == plotH-1 || r == plotH/2 {
+			label = trimNum(yVal)
+		}
+		sb.WriteString(fmt.Sprintf("%*s|", yLabelW, label))
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelW) + "+" + strings.Repeat("-", plotW) + "\n")
+	// X axis labels: min, mid, max (or first/last tick labels for bars).
+	lo, mid, hi := trimNum(xmin), trimNum((xmin+xmax)/2), trimNum(xmax)
+	if c.Kind == Bar && len(c.XTicks) > 0 {
+		lo, hi = c.XTicks[0], c.XTicks[len(c.XTicks)-1]
+		mid = ""
+		if len(c.XTicks) > 2 {
+			mid = c.XTicks[len(c.XTicks)/2]
+		}
+	}
+	axis := make([]byte, plotW)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	copy(axis, lo)
+	if len(mid) > 0 && plotW/2+len(mid) < plotW {
+		copy(axis[plotW/2-len(mid)/2:], mid)
+	}
+	if len(hi) < plotW {
+		copy(axis[plotW-len(hi):], hi)
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelW+1))
+	sb.Write(axis)
+	sb.WriteByte('\n')
+	if c.XLabel != "" {
+		sb.WriteString(strings.Repeat(" ", yLabelW+1) + c.XLabel + "\n")
+	}
+	if c.Kind != Bar && len(c.Series) > 0 {
+		sb.WriteString("legend: ")
+		for si, s := range c.Series {
+			if si > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteByte(markers[si%len(markers)])
+			sb.WriteByte(' ')
+			sb.WriteString(s.Label)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// drawLine draws a Bresenham segment with the given rune, not overwriting
+// markers.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if y0 >= 0 && y0 < len(grid) && x0 >= 0 && x0 < len(grid[0]) && grid[y0][x0] == ' ' {
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}

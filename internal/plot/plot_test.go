@@ -1,0 +1,125 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return NewLine("ARE vs k", "k", "ARE",
+		Series{Label: "cluster", Xs: []float64{2, 4, 8}, Ys: []float64{0.1, 0.2, 0.4}},
+		Series{Label: "incognito", Xs: []float64{2, 4, 8}, Ys: []float64{0.2, 0.5, 0.9}},
+	)
+}
+
+func TestASCIIContainsStructure(t *testing.T) {
+	out := lineChart().ASCII(60, 12)
+	if !strings.Contains(out, "ARE vs k") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "cluster") || !strings.Contains(out, "incognito") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series markers missing")
+	}
+	if !strings.Contains(out, "k\n") {
+		t.Error("x label missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestASCIIEmptyChart(t *testing.T) {
+	c := NewLine("empty", "x", "y")
+	out := c.ASCII(40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart rendering: %q", out)
+	}
+	c = NewLine("nan", "x", "y", Series{Xs: []float64{1}, Ys: []float64{math.NaN()}})
+	if out := c.ASCII(40, 10); !strings.Contains(out, "(no data)") {
+		t.Errorf("NaN-only chart rendering: %q", out)
+	}
+}
+
+func TestASCIIMinimumSizesEnforced(t *testing.T) {
+	out := lineChart().ASCII(1, 1)
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("minimum height not enforced")
+	}
+}
+
+func TestASCIIBar(t *testing.T) {
+	c := NewBar("histogram", "value", "count", []string{"a", "b", "c"}, []float64{5, 3, 8})
+	out := c.ASCII(50, 10)
+	if !strings.Contains(out, "#") {
+		t.Error("no bars drawn")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "c") {
+		t.Error("tick labels missing")
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	c := NewLine("flat", "x", "y", Series{Label: "s", Xs: []float64{1, 2}, Ys: []float64{5, 5}})
+	out := c.ASCII(40, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := lineChart().SVG(400, 300)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "ARE vs k", "cluster"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Error("multiple svg roots")
+	}
+}
+
+func TestSVGBar(t *testing.T) {
+	c := NewBar("hist", "v", "n", []string{"x", "y"}, []float64{1, 2})
+	svg := c.SVG(300, 200)
+	if !strings.Contains(svg, "<rect") {
+		t.Error("no bars in SVG")
+	}
+	if !strings.Contains(svg, ">x<") {
+		t.Error("tick label missing in SVG")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := NewLine("a<b & c", "x", "y", Series{Label: `q"u`, Xs: []float64{0, 1}, Ys: []float64{0, 1}})
+	svg := c.SVG(300, 200)
+	if strings.Contains(svg, "a<b") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c") {
+		t.Error("escaped title missing")
+	}
+	if !strings.Contains(svg, "q&quot;u") {
+		t.Error("series label not escaped")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	c := NewLine("none", "x", "y")
+	svg := c.SVG(10, 10) // minimums enforced
+	if !strings.Contains(svg, "(no data)") {
+		t.Error("empty SVG should say so")
+	}
+}
+
+func TestSVGSkipsNaNPoints(t *testing.T) {
+	c := NewLine("gap", "x", "y", Series{Label: "s", Xs: []float64{0, 1, 2}, Ys: []float64{1, math.NaN(), 3}})
+	svg := c.SVG(300, 200)
+	if strings.Count(svg, "<circle") != 2 {
+		t.Errorf("want 2 circles, got %d", strings.Count(svg, "<circle"))
+	}
+}

@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// File formats (Configuration Editor uploads):
+//
+// Privacy policy: one constraint per line, items separated by spaces:
+//
+//	flu diabetes
+//	hypertension
+//
+// Utility policy: one constraint per line, "label: item item ...":
+//
+//	respiratory: flu asthma
+//	metabolic: diabetes obesity
+
+// ReadPrivacy parses a privacy policy file.
+func ReadPrivacy(r io.Reader) ([]PrivacyConstraint, error) {
+	var out []PrivacyConstraint
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		items := normalize(strings.Fields(line))
+		if len(items) == 0 {
+			return nil, fmt.Errorf("policy: line %d: empty constraint", lineNo)
+		}
+		out = append(out, PrivacyConstraint{Items: items})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: empty privacy policy")
+	}
+	return out, nil
+}
+
+// WritePrivacy serializes a privacy policy.
+func WritePrivacy(w io.Writer, cs []PrivacyConstraint) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cs {
+		if _, err := bw.WriteString(c.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUtility parses a utility policy file.
+func ReadUtility(r io.Reader) ([]UtilityConstraint, error) {
+	var out []UtilityConstraint
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		label, rhs, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("policy: line %d: missing ':'", lineNo)
+		}
+		label = strings.TrimSpace(label)
+		items := normalize(strings.Fields(rhs))
+		if label == "" || len(items) == 0 {
+			return nil, fmt.Errorf("policy: line %d: malformed utility constraint", lineNo)
+		}
+		out = append(out, UtilityConstraint{Label: label, Items: items})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: empty utility policy")
+	}
+	return out, nil
+}
+
+// WriteUtility serializes a utility policy.
+func WriteUtility(w io.Writer, cs []UtilityConstraint) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cs {
+		if _, err := bw.WriteString(c.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadPrivacyFile reads a privacy policy from disk.
+func LoadPrivacyFile(path string) ([]PrivacyConstraint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPrivacy(f)
+}
+
+// LoadUtilityFile reads a utility policy from disk.
+func LoadUtilityFile(path string) ([]UtilityConstraint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadUtility(f)
+}

@@ -1,0 +1,40 @@
+package privacy
+
+import (
+	"testing"
+
+	"secreta/internal/gen"
+)
+
+func BenchmarkPartition(b *testing.B) {
+	ds := gen.Census(gen.Config{Records: 5000, Items: 0, Seed: 1})
+	qis, err := ds.QIIndices(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Partition(ds, qis)
+	}
+}
+
+func BenchmarkKMViolationsM2(b *testing.B) {
+	ds := gen.Census(gen.Config{Records: 2000, Items: 40, Seed: 1})
+	trs := Transactions(ds, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KMViolations(trs, 5, 2, 0)
+	}
+}
+
+func BenchmarkCheckRT(b *testing.B) {
+	ds := gen.Census(gen.Config{Records: 2000, Items: 30, Seed: 2})
+	qis, err := ds.QIIndices(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CheckRT(ds, qis, 5, 2)
+	}
+}

@@ -1,0 +1,243 @@
+// Package privacy implements the privacy models SECRETA's algorithms
+// enforce and its evaluator verifies: k-anonymity over relational
+// quasi-identifiers, k^m-anonymity over the transaction attribute
+// (Terrovitis et al.), and their combination (k,k^m)-anonymity for
+// RT-datasets (Poulis et al.).
+package privacy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+)
+
+// Class is one equivalence class: the indices of records sharing a QI
+// signature.
+type Class struct {
+	Signature []string
+	Records   []int
+}
+
+// Partition groups records by their QI signature, skipping suppressed
+// records, and returns classes sorted by signature for determinism.
+func Partition(ds *dataset.Dataset, qis []int) []Class {
+	groups := make(map[string][]int)
+	sigs := make(map[string][]string)
+	var sb strings.Builder
+	for r := range ds.Records {
+		if generalize.IsSuppressed(ds, qis, r) {
+			continue
+		}
+		sb.Reset()
+		sig := make([]string, len(qis))
+		for i, q := range qis {
+			v := ds.Records[r].Values[q]
+			sig[i] = v
+			sb.WriteString(v)
+			sb.WriteByte('\x00')
+		}
+		key := sb.String()
+		groups[key] = append(groups[key], r)
+		if _, ok := sigs[key]; !ok {
+			sigs[key] = sig
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Class, len(keys))
+	for i, k := range keys {
+		out[i] = Class{Signature: sigs[k], Records: groups[k]}
+	}
+	return out
+}
+
+// MinClassSize returns the size of the smallest equivalence class, or 0
+// when no unsuppressed records exist.
+func MinClassSize(ds *dataset.Dataset, qis []int) int {
+	classes := Partition(ds, qis)
+	if len(classes) == 0 {
+		return 0
+	}
+	min := len(ds.Records)
+	for _, c := range classes {
+		if len(c.Records) < min {
+			min = len(c.Records)
+		}
+	}
+	return min
+}
+
+// IsKAnonymous reports whether every equivalence class (suppressed records
+// excluded) has at least k members.
+func IsKAnonymous(ds *dataset.Dataset, qis []int, k int) bool {
+	if k <= 1 {
+		return true
+	}
+	for _, c := range Partition(ds, qis) {
+		if len(c.Records) < k {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation describes a k^m-anonymity violation: an itemset of size <= m
+// supported by fewer than k transactions.
+type Violation struct {
+	Itemset []string
+	Support int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("itemset {%s} support %d", strings.Join(v.Itemset, ","), v.Support)
+}
+
+// KMViolations returns every itemset of size 1..m whose support among the
+// given transactions is in (0, k), i.e. the k^m-anonymity violations. The
+// transactions are item slices (sorted, deduplicated). Violations are
+// reported smallest-itemset first and are capped at limit (<=0: no cap);
+// Apriori-style algorithms fix violations level by level, so the cap keeps
+// incremental runs cheap.
+func KMViolations(transactions [][]string, k, m, limit int) []Violation {
+	var out []Violation
+	if k <= 1 || m <= 0 {
+		return nil
+	}
+	for size := 1; size <= m; size++ {
+		support := make(map[string]int)
+		first := make(map[string][]string)
+		for _, tr := range transactions {
+			if len(tr) < size {
+				continue
+			}
+			forEachSubset(tr, size, func(sub []string) {
+				key := strings.Join(sub, "\x00")
+				support[key]++
+				if _, ok := first[key]; !ok {
+					first[key] = append([]string(nil), sub...)
+				}
+			})
+		}
+		keys := make([]string, 0, len(support))
+		for key, s := range support {
+			if s < k {
+				keys = append(keys, key)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			out = append(out, Violation{Itemset: first[key], Support: support[key]})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// forEachSubset enumerates all size-k subsets of the sorted slice items in
+// lexicographic order.
+func forEachSubset(items []string, k int, fn func([]string)) {
+	n := len(items)
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := make([]string, k)
+	for {
+		for i, j := range idx {
+			sub[i] = items[j]
+		}
+		fn(sub)
+		// Advance combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// IsKMAnonymous reports whether the transactions satisfy k^m-anonymity.
+func IsKMAnonymous(transactions [][]string, k, m int) bool {
+	return len(KMViolations(transactions, k, m, 1)) == 0
+}
+
+// Transactions extracts the item sets of the records at the given indices
+// (all records when idx is nil), skipping empty baskets.
+func Transactions(ds *dataset.Dataset, idx []int) [][]string {
+	var out [][]string
+	add := func(items []string) {
+		if len(items) > 0 {
+			out = append(out, items)
+		}
+	}
+	if idx == nil {
+		for r := range ds.Records {
+			add(ds.Records[r].Items)
+		}
+		return out
+	}
+	for _, r := range idx {
+		add(ds.Records[r].Items)
+	}
+	return out
+}
+
+// RTReport summarizes an (k,k^m)-anonymity check over an RT-dataset.
+type RTReport struct {
+	KAnonymous  bool
+	MinClass    int
+	BadClasses  int // classes whose transaction part violates k^m
+	FirstKMFail *Violation
+}
+
+// Holds reports whether the dataset satisfies (k,k^m)-anonymity.
+func (r RTReport) Holds() bool { return r.KAnonymous && r.BadClasses == 0 }
+
+// CheckRT verifies (k,k^m)-anonymity per Poulis et al.: the relational part
+// is k-anonymous and each equivalence class's transaction multiset is
+// k^m-anonymous.
+func CheckRT(ds *dataset.Dataset, qis []int, k, m int) RTReport {
+	rep := RTReport{KAnonymous: true, MinClass: 0}
+	classes := Partition(ds, qis)
+	if len(classes) == 0 {
+		rep.MinClass = 0
+		return rep
+	}
+	rep.MinClass = len(ds.Records)
+	for _, c := range classes {
+		if len(c.Records) < rep.MinClass {
+			rep.MinClass = len(c.Records)
+		}
+		if len(c.Records) < k {
+			rep.KAnonymous = false
+		}
+		if ds.HasTransaction() {
+			vs := KMViolations(Transactions(ds, c.Records), k, m, 1)
+			if len(vs) > 0 {
+				rep.BadClasses++
+				if rep.FirstKMFail == nil {
+					v := vs[0]
+					rep.FirstKMFail = &v
+				}
+			}
+		}
+	}
+	return rep
+}

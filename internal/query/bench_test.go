@@ -1,0 +1,52 @@
+package query
+
+import (
+	"testing"
+
+	"secreta/internal/gen"
+	"secreta/internal/generalize"
+)
+
+func BenchmarkAREOnGeneralized(b *testing.B) {
+	ds := gen.Census(gen.Config{Records: 2000, Items: 20, Seed: 3})
+	hs, err := gen.Hierarchies(ds, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ih, err := gen.ItemHierarchy(ds, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qis, err := ds.QIIndices(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := make([]int, len(qis))
+	for i, q := range qis {
+		levels[i] = hs[ds.Attrs[q].Name].Height() / 2
+	}
+	anon, err := generalize.FullDomain(ds, hs, qis, levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := Generate(ds, GenOptions{Queries: 50, Dims: 2, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ARE(w, ds, anon, hs, ih); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateWorkload(b *testing.B) {
+	ds := gen.Census(gen.Config{Records: 2000, Items: 20, Seed: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(ds, GenOptions{Queries: 100, Dims: 2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

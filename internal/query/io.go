@@ -1,0 +1,238 @@
+package query
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"secreta/internal/dataset"
+)
+
+// Workload file format: one query per line; conditions separated by ';'.
+//
+//	Age=[20,40];Gender=M;items=milk|bread
+//
+// A condition is either attr=[lo,hi] (numeric range), attr=v1|v2 (value
+// set), or items=i1|i2 (required items). Lines starting with '#' are
+// comments.
+
+// ParseQuery parses one query line.
+func ParseQuery(line string) (Query, error) {
+	var q Query
+	for _, part := range strings.Split(line, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rhs, found := strings.Cut(part, "=")
+		if !found {
+			return Query{}, fmt.Errorf("query: condition %q lacks '='", part)
+		}
+		name = strings.TrimSpace(name)
+		rhs = strings.TrimSpace(rhs)
+		if name == "" || rhs == "" {
+			return Query{}, fmt.Errorf("query: malformed condition %q", part)
+		}
+		if name == "items" {
+			q.Items = append(q.Items, splitValues(rhs)...)
+			continue
+		}
+		if strings.HasPrefix(rhs, "[") && strings.HasSuffix(rhs, "]") {
+			body := rhs[1 : len(rhs)-1]
+			loS, hiS, found := strings.Cut(body, ",")
+			if !found {
+				return Query{}, fmt.Errorf("query: malformed range %q", rhs)
+			}
+			lo, err1 := strconv.ParseFloat(strings.TrimSpace(loS), 64)
+			hi, err2 := strconv.ParseFloat(strings.TrimSpace(hiS), 64)
+			if err1 != nil || err2 != nil {
+				return Query{}, fmt.Errorf("query: non-numeric range %q", rhs)
+			}
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			q.Predicates = append(q.Predicates, Predicate{Attr: name, Lo: lo, Hi: hi, Numeric: true})
+			continue
+		}
+		q.Predicates = append(q.Predicates, Predicate{Attr: name, Values: splitValues(rhs)})
+	}
+	if len(q.Predicates) == 0 && len(q.Items) == 0 {
+		return Query{}, fmt.Errorf("query: empty query line")
+	}
+	return q, nil
+}
+
+func splitValues(s string) []string {
+	parts := strings.Split(s, "|")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Read parses a workload file.
+func Read(r io.Reader) (*Workload, error) {
+	var w Workload
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := ParseQuery(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("query: empty workload")
+	}
+	return &w, nil
+}
+
+// Write serializes the workload, one query per line.
+func (w *Workload) Write(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	for i := range w.Queries {
+		if _, err := bw.WriteString(w.Queries[i].String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a workload from disk.
+func LoadFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// SaveFile writes the workload to disk.
+func (w *Workload) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// GenOptions tunes the random workload generator.
+type GenOptions struct {
+	Queries int // number of queries (default 100)
+	// Dims is how many relational predicates each query carries
+	// (default 2, capped at the number of attributes; -1 for none,
+	// producing item-only queries).
+	Dims int
+	// RangeFrac is the fraction of a numeric domain each range spans
+	// (default 0.2).
+	RangeFrac float64
+	// Items is how many transaction items each query requires (default 1
+	// when the dataset has a transaction attribute, 0 otherwise).
+	Items int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Generate builds a random workload against the dataset's domains, the
+// "generated automatically" path of the Queries Editor.
+func Generate(ds *dataset.Dataset, opts GenOptions) (*Workload, error) {
+	if opts.Queries <= 0 {
+		opts.Queries = 100
+	}
+	if opts.Dims == 0 {
+		opts.Dims = 2
+	}
+	if opts.Dims < 0 {
+		opts.Dims = 0
+	}
+	if opts.Dims > len(ds.Attrs) {
+		opts.Dims = len(ds.Attrs)
+	}
+	if opts.RangeFrac <= 0 || opts.RangeFrac > 1 {
+		opts.RangeFrac = 0.2
+	}
+	if opts.Items == 0 && ds.HasTransaction() {
+		opts.Items = 1
+	}
+	if !ds.HasTransaction() {
+		opts.Items = 0
+	}
+	if len(ds.Records) == 0 {
+		return nil, fmt.Errorf("query: cannot generate workload for empty dataset")
+	}
+	if opts.Dims == 0 && opts.Items == 0 {
+		return nil, fmt.Errorf("query: generated queries would be empty (no predicates, no items)")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	domains := make([][]string, len(ds.Attrs))
+	for i := range ds.Attrs {
+		domains[i] = ds.Domain(i)
+	}
+	itemDomain := ds.ItemDomain()
+	if opts.Items > 0 && len(itemDomain) == 0 {
+		opts.Items = 0
+	}
+	var w Workload
+	for qi := 0; qi < opts.Queries; qi++ {
+		var q Query
+		perm := rng.Perm(len(ds.Attrs))
+		for _, ai := range perm[:opts.Dims] {
+			attr := ds.Attrs[ai]
+			dom := domains[ai]
+			if len(dom) == 0 {
+				continue
+			}
+			if attr.Kind == dataset.Numeric {
+				lo, _ := strconv.ParseFloat(dom[0], 64)
+				hi, _ := strconv.ParseFloat(dom[len(dom)-1], 64)
+				span := (hi - lo) * opts.RangeFrac
+				start := lo + rng.Float64()*(hi-lo-span)
+				if hi == lo {
+					start = lo
+				}
+				q.Predicates = append(q.Predicates, Predicate{
+					Attr: attr.Name, Lo: start, Hi: start + span, Numeric: true,
+				})
+			} else {
+				q.Predicates = append(q.Predicates, Predicate{
+					Attr: attr.Name, Values: []string{dom[rng.Intn(len(dom))]},
+				})
+			}
+		}
+		seen := make(map[string]bool)
+		for len(q.Items) < opts.Items && len(seen) < len(itemDomain) {
+			it := itemDomain[rng.Intn(len(itemDomain))]
+			if !seen[it] {
+				seen[it] = true
+				q.Items = append(q.Items, it)
+			}
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return &w, nil
+}

@@ -1,0 +1,245 @@
+// Package query implements SECRETA's Queries Editor backend: COUNT query
+// workloads over relational and transaction attributes, exact evaluation on
+// original data, probabilistic evaluation on generalized data, and the
+// Average Relative Error (ARE) utility indicator of Xu et al. (KDD 2006),
+// which SECRETA uses as its de-facto utility measure.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+)
+
+// Predicate is one selection condition on a relational attribute: either a
+// categorical value-set membership or a numeric closed range.
+type Predicate struct {
+	Attr    string
+	Values  []string // categorical: match any of these
+	Lo, Hi  float64  // numeric range, inclusive
+	Numeric bool
+}
+
+// Query is a conjunctive COUNT query: all predicates must hold, and the
+// transaction part must contain all listed items.
+type Query struct {
+	Predicates []Predicate
+	Items      []string
+}
+
+// Workload is a set of queries evaluated together; ARE averages over it.
+type Workload struct {
+	Queries []Query
+}
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.Queries) }
+
+// CountExact evaluates the query on original (leaf-valued) data.
+func (q *Query) CountExact(ds *dataset.Dataset) (float64, error) {
+	idx, err := q.attrIndices(ds)
+	if err != nil {
+		return 0, err
+	}
+	count := 0.0
+	for r := range ds.Records {
+		m, err := q.matchExact(ds, idx, r)
+		if err != nil {
+			return 0, err
+		}
+		if m {
+			count++
+		}
+	}
+	return count, nil
+}
+
+func (q *Query) attrIndices(ds *dataset.Dataset) ([]int, error) {
+	idx := make([]int, len(q.Predicates))
+	for i, p := range q.Predicates {
+		j := ds.AttrIndex(p.Attr)
+		if j < 0 {
+			return nil, fmt.Errorf("query: no attribute named %q", p.Attr)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+func (q *Query) matchExact(ds *dataset.Dataset, idx []int, r int) (bool, error) {
+	rec := ds.Records[r]
+	for i, p := range q.Predicates {
+		v := rec.Values[idx[i]]
+		if p.Numeric {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return false, fmt.Errorf("query: non-numeric value %q in attribute %q", v, p.Attr)
+			}
+			if f < p.Lo || f > p.Hi {
+				return false, nil
+			}
+		} else {
+			found := false
+			for _, pv := range p.Values {
+				if v == pv {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false, nil
+			}
+		}
+	}
+	for _, it := range q.Items {
+		if !rec.HasItem(it) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CountEstimate evaluates the query on generalized data under the uniform
+// assumption: a generalized value contributes the fraction of its covered
+// leaves that satisfy the predicate; a generalized item contributes the
+// probability that it stands for a queried leaf item. Suppressed records
+// contribute nothing. hs supplies the hierarchy per relational attribute;
+// itemH the item hierarchy (may be nil for datasets without transactions or
+// mapping-based algorithms whose output keeps leaf items).
+func (q *Query) CountEstimate(ds *dataset.Dataset, hs generalize.Set, itemH *hierarchy.Hierarchy) (float64, error) {
+	idx, err := q.attrIndices(ds)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for r := range ds.Records {
+		p, err := q.matchProbability(ds, hs, itemH, idx, r)
+		if err != nil {
+			return 0, err
+		}
+		total += p
+	}
+	return total, nil
+}
+
+func (q *Query) matchProbability(ds *dataset.Dataset, hs generalize.Set, itemH *hierarchy.Hierarchy, idx []int, r int) (float64, error) {
+	rec := ds.Records[r]
+	prob := 1.0
+	for i, p := range q.Predicates {
+		v := rec.Values[idx[i]]
+		if v == generalize.Suppressed {
+			return 0, nil
+		}
+		h := hs[p.Attr]
+		leaves := []string{v}
+		if h != nil {
+			if n := h.Node(v); n != nil && !n.IsLeaf() {
+				leaves = n.Leaves()
+			}
+		}
+		match := 0
+		for _, leaf := range leaves {
+			ok, err := p.matchLeaf(leaf)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				match++
+			}
+		}
+		if match == 0 {
+			return 0, nil
+		}
+		prob *= float64(match) / float64(len(leaves))
+	}
+	for _, queried := range q.Items {
+		// Find the anonymized item covering the queried leaf item.
+		p := 0.0
+		for _, g := range rec.Items {
+			if g == queried {
+				p = 1
+				break
+			}
+			if itemH != nil && itemH.Covers(g, queried) {
+				n := itemH.Node(g)
+				p = 1 / float64(n.LeafCount())
+				break
+			}
+		}
+		if p == 0 {
+			return 0, nil
+		}
+		prob *= p
+	}
+	return prob, nil
+}
+
+func (p *Predicate) matchLeaf(leaf string) (bool, error) {
+	if p.Numeric {
+		f, err := strconv.ParseFloat(leaf, 64)
+		if err != nil {
+			return false, fmt.Errorf("query: non-numeric leaf %q in attribute %q", leaf, p.Attr)
+		}
+		return f >= p.Lo && f <= p.Hi, nil
+	}
+	for _, pv := range p.Values {
+		if leaf == pv {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ARE computes the Average Relative Error of answering the workload on the
+// anonymized dataset instead of the original: mean over queries of
+// |estimate - actual| / max(actual, sanity). The sanity bound (default 1)
+// prevents division by zero for empty-answer queries, following Xu et al.
+func ARE(w *Workload, orig, anon *dataset.Dataset, hs generalize.Set, itemH *hierarchy.Hierarchy) (float64, error) {
+	if len(w.Queries) == 0 {
+		return 0, fmt.Errorf("query: empty workload")
+	}
+	sum := 0.0
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		actual, err := q.CountExact(orig)
+		if err != nil {
+			return 0, err
+		}
+		est, err := q.CountEstimate(anon, hs, itemH)
+		if err != nil {
+			return 0, err
+		}
+		denom := actual
+		if denom < 1 {
+			denom = 1
+		}
+		sum += math.Abs(est-actual) / denom
+	}
+	return sum / float64(len(w.Queries)), nil
+}
+
+// String renders a query in the workload file format.
+func (q *Query) String() string {
+	var parts []string
+	for _, p := range q.Predicates {
+		if p.Numeric {
+			parts = append(parts, fmt.Sprintf("%s=[%s,%s]", p.Attr,
+				strconv.FormatFloat(p.Lo, 'g', -1, 64),
+				strconv.FormatFloat(p.Hi, 'g', -1, 64)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%s", p.Attr, strings.Join(p.Values, "|")))
+		}
+	}
+	if len(q.Items) > 0 {
+		items := append([]string(nil), q.Items...)
+		sort.Strings(items)
+		parts = append(parts, "items="+strings.Join(items, "|"))
+	}
+	return strings.Join(parts, ";")
+}

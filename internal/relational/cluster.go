@@ -1,0 +1,175 @@
+package relational
+
+import (
+	"fmt"
+
+	"secreta/internal/dataset"
+	"secreta/internal/hierarchy"
+	"secreta/internal/timing"
+)
+
+// Cluster implements the greedy clustering-based k-anonymization of Poulis
+// et al. (ECML/PKDD 2013): records are grouped into clusters of at least k
+// by repeatedly seeding a cluster and absorbing the records whose addition
+// increases the cluster's generalization cost (per-attribute LCA NCP) the
+// least; leftover records join their cheapest cluster. Each cluster is then
+// locally recoded to its per-attribute least common ancestors, so different
+// clusters can use different generalization granularities (local recoding),
+// which typically preserves far more utility than full-domain schemes.
+func Cluster(ds *dataset.Dataset, opts Options) (*Result, error) {
+	sw := timing.Start()
+	qis, hh, err := opts.validate(ds)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ds.Records)
+	if n > 0 && n < opts.K {
+		return nil, fmt.Errorf("cluster: dataset has %d records, fewer than k=%d", n, opts.K)
+	}
+	sw.Mark("setup")
+
+	clusters, err := buildClusters(ds, qis, hh, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	sw.Mark("cluster")
+
+	anon := ds.Clone()
+	for _, cl := range clusters {
+		for i, q := range qis {
+			for _, r := range cl.members {
+				anon.Records[r].Values[q] = cl.lca[i].Value
+			}
+		}
+	}
+	sw.Mark("recode")
+	return &Result{Anonymized: anon, Phases: sw.Phases(), Clusters: len(clusters)}, nil
+}
+
+// clusterState tracks one cluster's members and its running per-attribute
+// LCA nodes.
+type clusterState struct {
+	members []int
+	lca     []*hierarchy.Node
+}
+
+// costOfAdding computes the NCP increase of extending the cluster's LCAs to
+// cover record r, summed over attributes, along with the new LCA nodes.
+func costOfAdding(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, cl *clusterState, r int) (float64, []*hierarchy.Node, error) {
+	newLCA := make([]*hierarchy.Node, len(qis))
+	delta := 0.0
+	for i, q := range qis {
+		v := ds.Records[r].Values[q]
+		node, err := hh[i].LCA(cl.lca[i].Value, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		newLCA[i] = node
+		oldNCP, err := hh[i].NCP(cl.lca[i].Value)
+		if err != nil {
+			return 0, nil, err
+		}
+		newNCP, err := hh[i].NCP(node.Value)
+		if err != nil {
+			return 0, nil, err
+		}
+		delta += newNCP - oldNCP
+	}
+	return delta, newLCA, nil
+}
+
+func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, k int) ([]*clusterState, error) {
+	n := len(ds.Records)
+	unassigned := make([]bool, n)
+	remaining := n
+	for i := range unassigned {
+		unassigned[i] = true
+	}
+	newCluster := func(seed int) (*clusterState, error) {
+		lca := make([]*hierarchy.Node, len(qis))
+		for i, q := range qis {
+			node := hh[i].Node(ds.Records[seed].Values[q])
+			if node == nil {
+				return nil, fmt.Errorf("cluster: hierarchy %q misses value %q", ds.Attrs[q].Name, ds.Records[seed].Values[q])
+			}
+			lca[i] = node
+		}
+		return &clusterState{members: []int{seed}, lca: lca}, nil
+	}
+
+	var clusters []*clusterState
+	next := 0
+	for remaining >= k {
+		for !unassigned[next] {
+			next++
+		}
+		seed := next
+		cl, err := newCluster(seed)
+		if err != nil {
+			return nil, err
+		}
+		unassigned[seed] = false
+		remaining--
+		for len(cl.members) < k {
+			bestR := -1
+			bestCost := 0.0
+			var bestLCA []*hierarchy.Node
+			for r := 0; r < n; r++ {
+				if !unassigned[r] {
+					continue
+				}
+				cost, lca, err := costOfAdding(ds, qis, hh, cl, r)
+				if err != nil {
+					return nil, err
+				}
+				if bestR < 0 || cost < bestCost {
+					bestR, bestCost, bestLCA = r, cost, lca
+					if cost == 0 {
+						break // cannot do better than free
+					}
+				}
+			}
+			if bestR < 0 {
+				break
+			}
+			cl.members = append(cl.members, bestR)
+			cl.lca = bestLCA
+			unassigned[bestR] = false
+			remaining--
+		}
+		clusters = append(clusters, cl)
+	}
+	// Leftovers: attach each to the cluster whose LCAs grow the least.
+	for r := 0; r < n; r++ {
+		if !unassigned[r] {
+			continue
+		}
+		bestC := -1
+		bestCost := 0.0
+		var bestLCA []*hierarchy.Node
+		for ci, cl := range clusters {
+			cost, lca, err := costOfAdding(ds, qis, hh, cl, r)
+			if err != nil {
+				return nil, err
+			}
+			if bestC < 0 || cost < bestCost {
+				bestC, bestCost, bestLCA = ci, cost, lca
+			}
+		}
+		if bestC < 0 {
+			// No cluster exists (n < k was rejected; n == 0 cannot reach
+			// here). Defensive: make a singleton cluster.
+			cl, err := newCluster(r)
+			if err != nil {
+				return nil, err
+			}
+			clusters = append(clusters, cl)
+			unassigned[r] = false
+			continue
+		}
+		clusters[bestC].members = append(clusters[bestC].members, r)
+		clusters[bestC].lca = bestLCA
+		unassigned[r] = false
+	}
+	return clusters, nil
+}

@@ -1,0 +1,91 @@
+package relational
+
+import (
+	"testing"
+
+	"secreta/internal/generalize"
+	"secreta/internal/lattice"
+	"secreta/internal/metrics"
+	"secreta/internal/privacy"
+)
+
+// naiveFullDomain finds the best (min-GCP) minimal k-anonymous full-domain
+// node by scanning the whole lattice without any pruning — the reference
+// Incognito's prunings must agree with.
+func naiveFullDomain(t *testing.T, dsQIs []int, heights []int, check func(node []int) bool, gcp func(node []int) float64) ([]int, float64) {
+	t.Helper()
+	lat, err := lattice.New(heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anonymous [][]int
+	lat.Walk(func(node []int) bool {
+		if check(node) {
+			anonymous = append(anonymous, append([]int(nil), node...))
+		}
+		return true
+	})
+	if len(anonymous) == 0 {
+		t.Fatal("naive scan found no k-anonymous node")
+	}
+	minimal := lattice.MinimalNodes(anonymous)
+	best := minimal[0]
+	bestGCP := gcp(best)
+	for _, node := range minimal[1:] {
+		if g := gcp(node); g < bestGCP {
+			best, bestGCP = node, g
+		}
+	}
+	return best, bestGCP
+}
+
+// TestIncognitoMatchesNaive is the ablation cross-check: subset + roll-up
+// pruning must return a node with the same (minimal) GCP as the exhaustive
+// lattice scan.
+func TestIncognitoMatchesNaive(t *testing.T) {
+	ds, hs := smallData(t)
+	qis, err := ds.QIIndices(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh, err := hs.ForQIs(ds, qis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heights := make([]int, len(qis))
+	for i, h := range hh {
+		heights[i] = h.Height()
+	}
+	for _, k := range []int{2, 5, 15} {
+		res, err := Incognito(ds, Options{K: k, Hierarchies: hs})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		gIncognito, err := metrics.GCP(res.Anonymized, hs, qis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(node []int) bool {
+			cand, err := generalize.FullDomain(ds, hs, qis, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return privacy.IsKAnonymous(cand, qis, k)
+		}
+		gcp := func(node []int) float64 {
+			cand, err := generalize.FullDomain(ds, hs, qis, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := metrics.GCP(cand, hs, qis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}
+		_, gNaive := naiveFullDomain(t, qis, heights, check, gcp)
+		if gIncognito != gNaive {
+			t.Errorf("k=%d: Incognito GCP %.6f != naive %.6f", k, gIncognito, gNaive)
+		}
+	}
+}

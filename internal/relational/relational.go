@@ -1,0 +1,181 @@
+// Package relational implements the four relational anonymization
+// algorithms SECRETA integrates: Incognito (LeFevre et al., SIGMOD 2005),
+// Top-down specialization (Fung et al., ICDE 2005), full-subtree bottom-up
+// generalization, and Cluster, the greedy local-recoding clustering of
+// Poulis et al. (ECML/PKDD 2013). All four enforce k-anonymity over a set
+// of quasi-identifier attributes using generalization hierarchies.
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/timing"
+)
+
+// Options configures a relational algorithm run.
+type Options struct {
+	// K is the anonymity parameter (k >= 2 to have any effect).
+	K int
+	// QIs names the quasi-identifier attributes; empty means all
+	// relational attributes.
+	QIs []string
+	// Hierarchies supplies a hierarchy per QI attribute.
+	Hierarchies generalize.Set
+	// MaxSuppression is the fraction of records (0..1) Incognito may
+	// suppress instead of generalizing: a lattice node qualifies when the
+	// records in classes smaller than k sum to at most this fraction, and
+	// those records are suppressed in the output. 0 (the default) is
+	// plain k-anonymity. Other algorithms currently ignore it.
+	MaxSuppression float64
+}
+
+// Result is the outcome of a relational algorithm run.
+type Result struct {
+	// Anonymized is the k-anonymous dataset (records aligned with the
+	// input).
+	Anonymized *dataset.Dataset
+	// Phases is the phase timing breakdown.
+	Phases []timing.Phase
+	// Levels reports the chosen generalization levels for full-domain
+	// schemes (nil otherwise).
+	Levels []int
+	// Clusters reports the number of clusters for clustering schemes.
+	Clusters int
+	// NodesChecked counts lattice nodes whose k-anonymity was tested
+	// (Incognito diagnostics).
+	NodesChecked int
+}
+
+func (o *Options) validate(ds *dataset.Dataset) ([]int, []*hierarchy.Hierarchy, error) {
+	if o.K < 1 {
+		return nil, nil, fmt.Errorf("relational: k must be >= 1, got %d", o.K)
+	}
+	if o.MaxSuppression < 0 || o.MaxSuppression >= 1 {
+		return nil, nil, fmt.Errorf("relational: max suppression must be in [0,1), got %v", o.MaxSuppression)
+	}
+	qis, err := ds.QIIndices(o.QIs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(qis) == 0 {
+		return nil, nil, fmt.Errorf("relational: no quasi-identifier attributes")
+	}
+	hh, err := o.Hierarchies.ForQIs(ds, qis)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Every data value must be known to its hierarchy.
+	for i, q := range qis {
+		for _, v := range ds.Domain(q) {
+			if !hh[i].Contains(v) {
+				return nil, nil, fmt.Errorf("relational: hierarchy %q misses value %q", ds.Attrs[q].Name, v)
+			}
+		}
+	}
+	return qis, hh, nil
+}
+
+// projector maps a record index to its (generalized) QI signature.
+type projector func(r int) string
+
+// levelProjector builds a projector that generalizes each QI to the given
+// level, memoizing value translations.
+func levelProjector(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, levels []int) (projector, error) {
+	memo := make([]map[string]string, len(qis))
+	for i := range memo {
+		memo[i] = make(map[string]string)
+	}
+	var sb strings.Builder
+	return func(r int) string {
+		sb.Reset()
+		for i, q := range qis {
+			v := ds.Records[r].Values[q]
+			g, ok := memo[i][v]
+			if !ok {
+				var err error
+				g, err = hh[i].GeneralizeLevels(v, levels[i])
+				if err != nil {
+					// validate() guarantees all values are known.
+					g = v
+				}
+				memo[i][v] = g
+			}
+			sb.WriteString(g)
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
+	}, nil
+}
+
+// cutProjector builds a projector that maps each QI through its cut.
+func cutProjector(ds *dataset.Dataset, qis []int, cuts []*hierarchy.Cut) projector {
+	memo := make([]map[string]string, len(qis))
+	for i := range memo {
+		memo[i] = make(map[string]string)
+	}
+	var sb strings.Builder
+	return func(r int) string {
+		sb.Reset()
+		for i, q := range qis {
+			v := ds.Records[r].Values[q]
+			g, ok := memo[i][v]
+			if !ok {
+				var err error
+				g, err = cuts[i].Map(v)
+				if err != nil {
+					g = v
+				}
+				memo[i][v] = g
+			}
+			sb.WriteString(g)
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
+	}
+}
+
+// suppressionNeeded counts the records falling in equivalence classes
+// smaller than k under the projector — the records that would have to be
+// suppressed to make the node k-anonymous. Refining the projection (less
+// generalization) can only split classes, so the count is monotone under
+// specialization, which keeps Incognito's prunings valid with a
+// suppression budget.
+func suppressionNeeded(n, k int, proj projector) int {
+	if n == 0 {
+		return 0
+	}
+	counts := make(map[string]int)
+	for r := 0; r < n; r++ {
+		counts[proj(r)]++
+	}
+	needed := 0
+	for _, c := range counts {
+		if c < k {
+			needed += c
+		}
+	}
+	return needed
+}
+
+// minClassSize computes the smallest equivalence class size under the
+// projector over n records. Returns 0 for empty data.
+func minClassSize(n int, proj projector) int {
+	if n == 0 {
+		return 0
+	}
+	counts := make(map[string]int)
+	for r := 0; r < n; r++ {
+		counts[proj(r)]++
+	}
+	min := n
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}

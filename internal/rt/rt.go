@@ -1,0 +1,523 @@
+// Package rt implements SECRETA's anonymization of RT-datasets — datasets
+// with both relational and transaction attributes — via the three bounding
+// methods of Poulis et al. (ECML/PKDD 2013): Rmerger, Tmerger and RTmerger.
+// A bounding method combines one of the four relational algorithms with one
+// of the five transaction algorithms (the paper's 20 combinations) to
+// enforce (k, k^m)-anonymity: the relational projection is k-anonymous and
+// the transaction multiset of every equivalence class is k^m-anonymous.
+//
+// The pipeline has three phases. First the relational algorithm builds
+// k-anonymous clusters. Then every cluster whose transactions violate
+// k^m-anonymity is repaired, either by merging it with another cluster
+// (cheap for the transaction attribute, costly for the relational one) or
+// by running the transaction algorithm inside the cluster (the reverse
+// trade-off). The parameter delta bounds the merge route: a merge is taken
+// only when its average relational NCP increase is at most delta; with
+// delta = 0 clusters never merge, with large delta they merge freely. The
+// three bounding methods differ in how they pick the merge partner:
+// Rmerger minimizes the relational loss increase, Tmerger minimizes the
+// transaction-side repair work (residual violations of the merged
+// multiset), and RTmerger minimizes a weighted combination.
+package rt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/policy"
+	"secreta/internal/privacy"
+	"secreta/internal/relational"
+	"secreta/internal/timing"
+	"secreta/internal/transaction"
+)
+
+// Flavor selects the bounding method.
+type Flavor int
+
+const (
+	// RMerge merges the pair with the least relational loss increase.
+	RMerge Flavor = iota
+	// TMerge merges the pair leaving the fewest transaction violations.
+	TMerge
+	// RTMerge balances both costs with Options.Weight.
+	RTMerge
+)
+
+// String returns the paper's name for the flavor.
+func (f Flavor) String() string {
+	switch f {
+	case RMerge:
+		return "Rmerger"
+	case TMerge:
+		return "Tmerger"
+	case RTMerge:
+		return "RTmerger"
+	default:
+		return fmt.Sprintf("Flavor(%d)", int(f))
+	}
+}
+
+// ParseFlavor converts a bounding method name.
+func ParseFlavor(s string) (Flavor, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rmerger", "rmerge", "r":
+		return RMerge, nil
+	case "tmerger", "tmerge", "t":
+		return TMerge, nil
+	case "rtmerger", "rtmerge", "rt":
+		return RTMerge, nil
+	}
+	return 0, fmt.Errorf("rt: unknown bounding method %q", s)
+}
+
+// RelationalAlgos lists the supported relational algorithm names.
+var RelationalAlgos = []string{"incognito", "topdown", "bottomup", "cluster"}
+
+// TransactionAlgos lists the supported transaction algorithm names.
+var TransactionAlgos = []string{"apriori", "lra", "vpa", "coat", "pcta"}
+
+// Options configures an RT-dataset anonymization run.
+type Options struct {
+	// K is the relational anonymity parameter; also used as the k of
+	// k^m-anonymity inside classes.
+	K int
+	// M is the adversary itemset size of k^m-anonymity.
+	M int
+	// Delta bounds the average relational NCP increase a cluster merge
+	// may cost; merges above it fall back to transaction generalization.
+	Delta float64
+	// Weight balances RTmerger's two costs (default 0.5; 1 = all
+	// relational).
+	Weight float64
+	// QIs names the relational quasi-identifiers (empty: all).
+	QIs []string
+	// Hierarchies supplies relational hierarchies.
+	Hierarchies generalize.Set
+	// ItemHierarchy drives hierarchy-based transaction algorithms and is
+	// required for Apriori/LRA/VPA.
+	ItemHierarchy *hierarchy.Hierarchy
+	// Policy drives COAT/PCTA.
+	Policy *policy.Policy
+	// RelAlgo and TransAlgo pick the combination (see RelationalAlgos,
+	// TransactionAlgos).
+	RelAlgo   string
+	TransAlgo string
+	// Flavor picks the bounding method.
+	Flavor Flavor
+	// UngatedMerges disables the requirement that a merge strictly
+	// reduce the merged clusters' k^m violations. It exists for the
+	// ablation benchmarks: without the gate, any delta > 0 lets merges
+	// cascade until the whole dataset is one class.
+	UngatedMerges bool
+}
+
+// Result is the outcome of an RT anonymization.
+type Result struct {
+	// Anonymized satisfies (k,k^m)-anonymity.
+	Anonymized *dataset.Dataset
+	// Phases: "relational", "merge", "transaction" timings (plot (b) of
+	// the Evaluation mode).
+	Phases []timing.Phase
+	// Merges is the number of cluster merges performed.
+	Merges int
+	// Clusters is the final number of equivalence classes.
+	Clusters int
+	// TransRepairs counts clusters repaired by transaction-side
+	// generalization.
+	TransRepairs int
+	// SuppressedClusters counts clusters whose items had to be dropped
+	// entirely (infeasible transaction repair).
+	SuppressedClusters int
+}
+
+type cluster struct {
+	records []int
+	relVals []string // generalized QI values, aligned with qis
+	items   [][]string
+	clean   bool // no further merge processing needed
+	merges  int  // merge-chain length, bounded by maxMergeChain
+}
+
+// maxMergeChain bounds how many merges one cluster may absorb; beyond it
+// the transaction algorithm repairs the cluster. Merging pools similar
+// transactions so less item generalization is needed, but merging alone can
+// rarely satisfy k^m, so an unbounded chain would collapse the whole
+// dataset into one class.
+const maxMergeChain = 8
+
+// Anonymize runs the configured combination on an RT-dataset.
+func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
+	if !ds.HasTransaction() {
+		return nil, fmt.Errorf("rt: dataset has no transaction attribute")
+	}
+	if opts.M < 1 {
+		return nil, fmt.Errorf("rt: m must be >= 1, got %d", opts.M)
+	}
+	if opts.Delta < 0 {
+		return nil, fmt.Errorf("rt: delta must be >= 0, got %v", opts.Delta)
+	}
+	if opts.Weight <= 0 || opts.Weight > 1 {
+		opts.Weight = 0.5
+	}
+	relRun, err := relationalByName(opts.RelAlgo)
+	if err != nil {
+		return nil, err
+	}
+	transRun, err := transactionByName(opts.TransAlgo)
+	if err != nil {
+		return nil, err
+	}
+	qis, err := ds.QIIndices(opts.QIs)
+	if err != nil {
+		return nil, err
+	}
+	hh, err := opts.Hierarchies.ForQIs(ds, qis)
+	if err != nil {
+		return nil, err
+	}
+
+	sw := timing.Start()
+	relRes, err := relRun(ds, relational.Options{K: opts.K, QIs: opts.QIs, Hierarchies: opts.Hierarchies})
+	if err != nil {
+		return nil, fmt.Errorf("rt: relational phase (%s): %w", opts.RelAlgo, err)
+	}
+	sw.Mark("relational")
+
+	clusters := clustersFromClasses(ds, relRes.Anonymized, qis)
+	merges := 0
+	for {
+		dirtyIdx := -1
+		for i, c := range clusters {
+			if c == nil || c.clean {
+				continue
+			}
+			if privacy.IsKMAnonymous(nonEmpty(c.items), opts.K, opts.M) {
+				c.clean = true
+				continue
+			}
+			dirtyIdx = i
+			break
+		}
+		if dirtyIdx < 0 {
+			break
+		}
+		c := clusters[dirtyIdx]
+		partner, delta := pickPartner(clusters, dirtyIdx, hh, opts)
+		if partner >= 0 && delta <= opts.Delta && (opts.UngatedMerges || c.merges < maxMergeChain) {
+			// Merge only when it actually helps the transaction side:
+			// the merged multiset must have strictly fewer violations
+			// than the two clusters separately (shared rare itemsets
+			// combine support and clear k).
+			helps := opts.UngatedMerges
+			if !helps {
+				before := len(privacy.KMViolations(nonEmpty(c.items), opts.K, opts.M, 0)) +
+					len(privacy.KMViolations(nonEmpty(clusters[partner].items), opts.K, opts.M, 0))
+				merged := append(append([][]string(nil), c.items...), clusters[partner].items...)
+				after := len(privacy.KMViolations(nonEmpty(merged), opts.K, opts.M, 0))
+				helps = after < before
+			}
+			if helps {
+				mergeClusters(clusters, dirtyIdx, partner, hh)
+				merges++
+				continue
+			}
+		}
+		// Too costly or unhelpful to merge: defer to the transaction
+		// phase below.
+		c.clean = true
+	}
+	sw.Mark("merge")
+
+	// Transaction phase: enforce k^m inside every cluster that still
+	// violates it (including those flagged for repair above).
+	transRepairs := 0
+	suppressed := 0
+	live := clusters[:0]
+	for _, c := range clusters {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	clusters = live
+	for _, c := range clusters {
+		if privacy.IsKMAnonymous(nonEmpty(c.items), opts.K, opts.M) {
+			continue
+		}
+		repaired, err := repairCluster(ds, c, transRun, opts)
+		if err != nil {
+			// Infeasible inside this cluster: suppress its items.
+			for i := range c.items {
+				c.items[i] = nil
+			}
+			suppressed++
+			continue
+		}
+		c.items = repaired
+		transRepairs++
+	}
+	sw.Mark("transaction")
+
+	anon := ds.Clone()
+	for _, c := range clusters {
+		for j, r := range c.records {
+			for i, q := range qis {
+				anon.Records[r].Values[q] = c.relVals[i]
+			}
+			anon.Records[r].Items = c.items[j]
+		}
+	}
+	sw.Mark("recode")
+	return &Result{
+		Anonymized:         anon,
+		Phases:             sw.Phases(),
+		Merges:             merges,
+		Clusters:           len(clusters),
+		TransRepairs:       transRepairs,
+		SuppressedClusters: suppressed,
+	}, nil
+}
+
+func relationalByName(name string) (func(*dataset.Dataset, relational.Options) (*relational.Result, error), error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "incognito":
+		return relational.Incognito, nil
+	case "topdown":
+		return relational.TopDown, nil
+	case "bottomup":
+		return relational.BottomUp, nil
+	case "cluster":
+		return relational.Cluster, nil
+	}
+	return nil, fmt.Errorf("rt: unknown relational algorithm %q (want one of %v)", name, RelationalAlgos)
+}
+
+func transactionByName(name string) (func(*dataset.Dataset, transaction.Options) (*transaction.Result, error), error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "apriori":
+		return transaction.Apriori, nil
+	case "lra":
+		return transaction.LRA, nil
+	case "vpa":
+		return transaction.VPA, nil
+	case "coat":
+		return transaction.COAT, nil
+	case "pcta":
+		return transaction.PCTA, nil
+	}
+	return nil, fmt.Errorf("rt: unknown transaction algorithm %q (want one of %v)", name, TransactionAlgos)
+}
+
+// clustersFromClasses rebuilds cluster state from the relational phase's
+// equivalence classes.
+func clustersFromClasses(orig, anon *dataset.Dataset, qis []int) []*cluster {
+	classes := privacy.Partition(anon, qis)
+	out := make([]*cluster, len(classes))
+	for i, cl := range classes {
+		c := &cluster{records: append([]int(nil), cl.Records...), relVals: cl.Signature}
+		c.items = itemsOf(orig, c.records)
+		out[i] = c
+	}
+	return out
+}
+
+func itemsOf(ds *dataset.Dataset, records []int) [][]string {
+	out := make([][]string, len(records))
+	for i, r := range records {
+		out[i] = append([]string(nil), ds.Records[r].Items...)
+	}
+	return out
+}
+
+func nonEmpty(items [][]string) [][]string {
+	var out [][]string
+	for _, it := range items {
+		if len(it) > 0 {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// relDelta computes the average per-attribute NCP increase of merging two
+// clusters: NCP(LCA of both signatures) minus the size-weighted current
+// NCP.
+func relDelta(a, b *cluster, hh []*hierarchy.Hierarchy) (float64, []string, error) {
+	newVals := make([]string, len(a.relVals))
+	delta := 0.0
+	na, nb := float64(len(a.records)), float64(len(b.records))
+	for i, h := range hh {
+		lca, err := h.LCA(a.relVals[i], b.relVals[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		newVals[i] = lca.Value
+		newNCP, err := h.NCP(lca.Value)
+		if err != nil {
+			return 0, nil, err
+		}
+		aNCP, err := h.NCP(a.relVals[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		bNCP, err := h.NCP(b.relVals[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		cur := (aNCP*na + bNCP*nb) / (na + nb)
+		delta += newNCP - cur
+	}
+	return delta / float64(len(hh)), newVals, nil
+}
+
+// transCost estimates the transaction-side repair work remaining after
+// merging: the number of k^m violations in the merged multiset, normalized
+// by the merged item count.
+func transCost(a, b *cluster, k, m int) float64 {
+	merged := append(append([][]string(nil), a.items...), b.items...)
+	vs := privacy.KMViolations(nonEmpty(merged), k, m, 0)
+	total := 0
+	for _, tr := range merged {
+		total += len(tr)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(len(vs)) / float64(total)
+}
+
+// pickPartner selects the best merge partner for cluster i per the bounding
+// method, returning the partner index (or -1) and the merge's relational
+// delta.
+func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Options) (int, float64) {
+	type cand struct {
+		j        int
+		rd       float64
+		tc       float64
+		combined float64
+	}
+	var cands []cand
+	for j, other := range clusters {
+		if j == i || other == nil {
+			continue
+		}
+		rd, _, err := relDelta(clusters[i], other, hh)
+		if err != nil {
+			continue
+		}
+		c := cand{j: j, rd: rd}
+		if opts.Flavor != RMerge {
+			c.tc = transCost(clusters[i], other, opts.K, opts.M)
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return -1, 0
+	}
+	switch opts.Flavor {
+	case RMerge:
+		sort.Slice(cands, func(a, b int) bool { return cands[a].rd < cands[b].rd })
+	case TMerge:
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].tc != cands[b].tc {
+				return cands[a].tc < cands[b].tc
+			}
+			return cands[a].rd < cands[b].rd
+		})
+	default: // RTMerge
+		// Normalize relational deltas to [0,1] by the max candidate.
+		maxRD := 0.0
+		for _, c := range cands {
+			if c.rd > maxRD {
+				maxRD = c.rd
+			}
+		}
+		for idx := range cands {
+			nrd := 0.0
+			if maxRD > 0 {
+				nrd = cands[idx].rd / maxRD
+			}
+			cands[idx].combined = opts.Weight*nrd + (1-opts.Weight)*cands[idx].tc
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].combined < cands[b].combined })
+	}
+	return cands[0].j, cands[0].rd
+}
+
+// mergeClusters folds cluster j into cluster i, updating signatures to the
+// per-attribute LCA. Cluster j's slot becomes nil.
+func mergeClusters(clusters []*cluster, i, j int, hh []*hierarchy.Hierarchy) {
+	a, b := clusters[i], clusters[j]
+	_, newVals, err := relDelta(a, b, hh)
+	if err != nil {
+		return
+	}
+	a.relVals = newVals
+	a.records = append(a.records, b.records...)
+	a.items = append(a.items, b.items...)
+	a.clean = false
+	a.merges += b.merges + 1
+	clusters[j] = nil
+}
+
+// repairCluster runs the transaction algorithm on the cluster's records
+// alone and returns the anonymized item lists (aligned with c.records).
+func repairCluster(ds *dataset.Dataset, c *cluster, transRun func(*dataset.Dataset, transaction.Options) (*transaction.Result, error), opts Options) ([][]string, error) {
+	sub := dataset.New(ds.Attrs, ds.TransName)
+	for idx, r := range c.records {
+		rec := dataset.Record{
+			Values: append([]string(nil), ds.Records[r].Values...),
+			Items:  append([]string(nil), c.items[idx]...),
+		}
+		if err := sub.AddRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	res, err := transRun(sub, transaction.Options{
+		K: opts.K, M: opts.M,
+		ItemHierarchy: opts.ItemHierarchy,
+		Policy:        clusterPolicy(sub, opts),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Mapping-based algorithms protect their policy but do not guarantee
+	// k^m; verify and reject so the caller can fall back.
+	if !privacy.IsKMAnonymous(privacy.Transactions(res.Anonymized, nil), opts.K, opts.M) {
+		return nil, fmt.Errorf("rt: cluster repair by %s left k^m violations", opts.TransAlgo)
+	}
+	out := make([][]string, len(c.records))
+	for i := range c.records {
+		out[i] = res.Anonymized.Records[i].Items
+	}
+	return out, nil
+}
+
+// clusterPolicy narrows the configured policy to the cluster's item domain,
+// or synthesizes an all-items policy for mapping-based algorithms when none
+// was given.
+func clusterPolicy(sub *dataset.Dataset, opts Options) *policy.Policy {
+	switch strings.ToLower(opts.TransAlgo) {
+	case "coat", "pcta":
+	default:
+		return opts.Policy
+	}
+	pol := &policy.Policy{}
+	if opts.Policy != nil {
+		pol.Privacy = opts.Policy.Privacy
+		pol.Utility = opts.Policy.Utility
+	}
+	if len(pol.Privacy) == 0 {
+		// Protecting every occurring itemset of size <= m with support
+		// >= k is exactly k^m-anonymity, so a COAT/PCTA repair under this
+		// synthesized policy satisfies the cluster's obligation.
+		pol.Privacy = policy.PrivacyFrequent(sub, 1, opts.M)
+	}
+	if len(pol.Utility) == 0 {
+		pol.Utility = policy.UtilityTop(sub)
+	}
+	return pol
+}

@@ -1,0 +1,43 @@
+// Package timing provides the phase stopwatch used across anonymization
+// algorithms, so the Evaluation mode can plot "the time needed to execute
+// the algorithm and its different phases" (Figure 3, plot (b)).
+package timing
+
+import "time"
+
+// Phase is one timed stage of an algorithm run.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Stopwatch accumulates named phases. The zero value is ready to use after
+// Start.
+type Stopwatch struct {
+	last   time.Time
+	phases []Phase
+}
+
+// Start begins timing; call it before the first phase.
+func Start() *Stopwatch {
+	return &Stopwatch{last: time.Now()}
+}
+
+// Mark closes the current phase with the given name and starts the next.
+func (s *Stopwatch) Mark(name string) {
+	now := time.Now()
+	s.phases = append(s.phases, Phase{Name: name, Duration: now.Sub(s.last)})
+	s.last = now
+}
+
+// Phases returns the recorded phases in order.
+func (s *Stopwatch) Phases() []Phase { return s.phases }
+
+// Total sums all recorded phase durations.
+func Total(phases []Phase) time.Duration {
+	var t time.Duration
+	for _, p := range phases {
+		t += p.Duration
+	}
+	return t
+}

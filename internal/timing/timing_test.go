@@ -1,0 +1,39 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchRecordsPhases(t *testing.T) {
+	sw := Start()
+	time.Sleep(time.Millisecond)
+	sw.Mark("first")
+	sw.Mark("second")
+	phases := sw.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	if phases[0].Name != "first" || phases[1].Name != "second" {
+		t.Errorf("names = %v", phases)
+	}
+	if phases[0].Duration < time.Millisecond {
+		t.Errorf("first phase too short: %v", phases[0].Duration)
+	}
+	if phases[1].Duration < 0 {
+		t.Errorf("negative duration: %v", phases[1].Duration)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	phases := []Phase{
+		{Name: "a", Duration: 2 * time.Millisecond},
+		{Name: "b", Duration: 3 * time.Millisecond},
+	}
+	if got := Total(phases); got != 5*time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+	if Total(nil) != 0 {
+		t.Error("Total(nil) != 0")
+	}
+}

@@ -1,0 +1,153 @@
+package transaction
+
+import (
+	"fmt"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/privacy"
+	"secreta/internal/timing"
+)
+
+// Apriori implements the Apriori anonymization algorithm (AA) of Terrovitis
+// et al.: it enforces k^m-anonymity level-wise. For i = 1..m it finds
+// itemsets of size i (over the current generalization) supported by fewer
+// than k transactions and repairs each by generalizing one of its items up
+// the hierarchy, picking the item whose full-subtree generalization costs
+// the least NCP. Because generalization only merges supports, repairs at
+// level i never reintroduce violations at levels < i.
+func Apriori(ds *dataset.Dataset, opts Options) (*Result, error) {
+	sw := timing.Start()
+	if err := opts.validateHierarchy(ds); err != nil {
+		return nil, err
+	}
+	cut := hierarchy.NewLeafCut(opts.ItemHierarchy)
+	sw.Mark("setup")
+	gens, err := aprioriOnCut(ds, nil, cut, opts.ItemHierarchy, opts.K, opts.M, nil)
+	if err != nil {
+		return nil, err
+	}
+	sw.Mark("generalize")
+	anon, err := generalize.ApplyItemCut(ds, cut)
+	if err != nil {
+		return nil, err
+	}
+	sw.Mark("recode")
+	return &Result{Anonymized: anon, Phases: sw.Phases(), Cut: cut, Generalizations: gens}, nil
+}
+
+// aprioriOnCut runs the AA repair loop over the records at indices idx (all
+// when nil), mutating cut. When allowed is non-nil, only items whose cut
+// node's leaves are all inside allowed may be generalized (VPA restricts
+// repairs to one vertical part). Returns the number of generalizations.
+func aprioriOnCut(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarchy.Hierarchy, k, m int, allowed map[string]bool) (int, error) {
+	gens := 0
+	for size := 1; size <= m; size++ {
+		for {
+			mapped, err := mappedTransactions(ds, idx, cut, allowed)
+			if err != nil {
+				return gens, err
+			}
+			viol := firstViolationOfSize(mapped, k, size)
+			if viol == nil {
+				break
+			}
+			// Pick the item of the violating set whose generalization
+			// increases the cut NCP least, among items allowed to move.
+			bestItem := ""
+			bestCost := 0.0
+			for _, g := range viol.Itemset {
+				n := h.Node(g)
+				if n == nil || n.Parent == nil {
+					continue
+				}
+				if allowed != nil && !subtreeAllowed(n.Parent, allowed) {
+					continue
+				}
+				trial := cut.Clone()
+				if err := trial.Generalize(g); err != nil {
+					continue
+				}
+				cost := trial.NCP() - cut.NCP()
+				if bestItem == "" || cost < bestCost {
+					bestItem, bestCost = g, cost
+				}
+			}
+			if bestItem == "" {
+				return gens, fmt.Errorf("apriori: cannot repair violation %v (k=%d, m=%d): all items fully generalized", viol.Itemset, k, m)
+			}
+			if err := cut.Generalize(bestItem); err != nil {
+				return gens, err
+			}
+			gens++
+		}
+	}
+	return gens, nil
+}
+
+// subtreeAllowed reports whether every leaf under n is in the allowed set.
+func subtreeAllowed(n *hierarchy.Node, allowed map[string]bool) bool {
+	for _, leaf := range n.Leaves() {
+		if !allowed[leaf] {
+			return false
+		}
+	}
+	return true
+}
+
+// mappedTransactions maps the item sets of the selected records through the
+// cut; when allowed is non-nil only items in the allowed leaf set are kept
+// (vertical projection).
+func mappedTransactions(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, allowed map[string]bool) ([][]string, error) {
+	var out [][]string
+	mapOne := func(r int) error {
+		items := ds.Records[r].Items
+		if allowed != nil {
+			var kept []string
+			for _, it := range items {
+				if allowed[it] {
+					kept = append(kept, it)
+				}
+			}
+			items = kept
+		}
+		if len(items) == 0 {
+			return nil
+		}
+		mapped, err := generalize.MapItems(items, cut)
+		if err != nil {
+			return err
+		}
+		if len(mapped) > 0 {
+			out = append(out, mapped)
+		}
+		return nil
+	}
+	if idx == nil {
+		for r := range ds.Records {
+			if err := mapOne(r); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for _, r := range idx {
+		if err := mapOne(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// firstViolationOfSize returns one k^m violation of exactly the given
+// itemset size, or nil.
+func firstViolationOfSize(transactions [][]string, k, size int) *privacy.Violation {
+	for _, v := range privacy.KMViolations(transactions, k, size, 0) {
+		if len(v.Itemset) == size {
+			v := v
+			return &v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package transaction
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/generalize"
+	"secreta/internal/timing"
+)
+
+// RhoUncertainty implements the suppression-based variant of
+// rho-uncertainty (Cao et al., PVLDB 2010) — the algorithm the SECRETA
+// paper names as its planned extension. The item domain is split into
+// public and sensitive items (Options.Sensitive); the output guarantees
+// that no sensitive association rule q -> s, where q is a set of up to
+// Options.M public items (including the empty set) and s a sensitive item,
+// holds with confidence above rho:
+//
+//	support(q union {s}) / support(q) <= rho   whenever support(q∪{s}) > 0
+//
+// The algorithm repeatedly finds the violating rule with the highest
+// confidence and suppresses the globally cheapest participating item —
+// the item involved in the most violations, with ties broken toward lower
+// support — until no violation remains. Suppression is global (the item
+// disappears from every transaction), which preserves truthfulness.
+func RhoUncertainty(ds *dataset.Dataset, opts Options) (*Result, error) {
+	sw := timing.Start()
+	if opts.Rho <= 0 || opts.Rho >= 1 {
+		return nil, fmt.Errorf("transaction: rho must be in (0,1), got %v", opts.Rho)
+	}
+	if opts.M < 0 {
+		return nil, fmt.Errorf("transaction: m must be >= 0, got %d", opts.M)
+	}
+	if !ds.HasTransaction() {
+		return nil, fmt.Errorf("transaction: dataset has no transaction attribute")
+	}
+	if len(opts.Sensitive) == 0 {
+		return nil, fmt.Errorf("transaction: rho-uncertainty needs at least one sensitive item")
+	}
+	sensitive := make(map[string]bool, len(opts.Sensitive))
+	for _, s := range opts.Sensitive {
+		sensitive[s] = true
+	}
+	suppressed := make(map[string]bool)
+	sw.Mark("setup")
+
+	for iter := 0; ; iter++ {
+		if iter > 10*len(ds.ItemDomain())+10 {
+			return nil, fmt.Errorf("transaction: rho-uncertainty did not converge")
+		}
+		viols := rhoViolations(ds, sensitive, suppressed, opts.Rho, opts.M)
+		if len(viols) == 0 {
+			break
+		}
+		// Count how many violations each live item participates in.
+		count := make(map[string]int)
+		for _, v := range viols {
+			for _, it := range v.items {
+				count[it]++
+			}
+		}
+		support := itemSupport(ds, suppressed)
+		victim := ""
+		for it, c := range count {
+			if victim == "" ||
+				c > count[victim] ||
+				(c == count[victim] && (support[it] < support[victim] ||
+					(support[it] == support[victim] && it < victim))) {
+				victim = it
+			}
+		}
+		suppressed[victim] = true
+	}
+	sw.Mark("suppress")
+
+	mapping := make(map[string]string)
+	for it := range suppressed {
+		mapping[it] = ""
+	}
+	anon := generalize.ApplyItemMapping(ds, mapping)
+	sw.Mark("recode")
+	supList := make([]string, 0, len(suppressed))
+	for it := range suppressed {
+		supList = append(supList, it)
+	}
+	sort.Strings(supList)
+	return &Result{
+		Anonymized: anon,
+		Phases:     sw.Phases(),
+		Mapping:    mapping,
+		Suppressed: supList,
+	}, nil
+}
+
+type rhoViolation struct {
+	items      []string // antecedent + sensitive item
+	confidence float64
+}
+
+// rhoViolations enumerates all violated sensitive rules with antecedents
+// of size 0..m over the live (unsuppressed) items.
+func rhoViolations(ds *dataset.Dataset, sensitive, suppressed map[string]bool, rho float64, m int) []rhoViolation {
+	var out []rhoViolation
+	live := func(items []string) []string {
+		var kept []string
+		for _, it := range items {
+			if !suppressed[it] {
+				kept = append(kept, it)
+			}
+		}
+		return kept
+	}
+	n := 0
+	supAll := make(map[string]int) // itemset-key (with sensitive) -> support
+	supPub := make(map[string]int) // public antecedent key -> support
+	for r := range ds.Records {
+		items := live(ds.Records[r].Items)
+		if len(items) == 0 {
+			continue
+		}
+		n++
+		var pub, sens []string
+		for _, it := range items {
+			if sensitive[it] {
+				sens = append(sens, it)
+			} else {
+				pub = append(pub, it)
+			}
+		}
+		// Antecedents of size 0..m.
+		for size := 0; size <= m && size <= len(pub); size++ {
+			if size == 0 {
+				supPub[""]++
+				for _, s := range sens {
+					supAll[s]++
+				}
+				continue
+			}
+			forEachSubsetTr(pub, size, func(q []string) {
+				key := strings.Join(q, "\x00")
+				supPub[key]++
+				for _, s := range sens {
+					supAll[key+"\x01"+s]++
+				}
+			})
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	supPub[""] = n
+	for key, supQS := range supAll {
+		qKey, s, found := strings.Cut(key, "\x01")
+		if !found {
+			qKey, s = "", key
+		}
+		supQ := supPub[qKey]
+		if supQ == 0 {
+			continue
+		}
+		conf := float64(supQS) / float64(supQ)
+		if conf > rho {
+			var items []string
+			if qKey != "" {
+				items = strings.Split(qKey, "\x00")
+			}
+			items = append(items, s)
+			out = append(out, rhoViolation{items: items, confidence: conf})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].confidence != out[j].confidence {
+			return out[i].confidence > out[j].confidence
+		}
+		return strings.Join(out[i].items, ",") < strings.Join(out[j].items, ",")
+	})
+	return out
+}
+
+func itemSupport(ds *dataset.Dataset, suppressed map[string]bool) map[string]int {
+	out := make(map[string]int)
+	for r := range ds.Records {
+		for _, it := range ds.Records[r].Items {
+			if !suppressed[it] {
+				out[it]++
+			}
+		}
+	}
+	return out
+}
+
+// forEachSubsetTr enumerates size-k subsets of a sorted slice.
+func forEachSubsetTr(items []string, k int, fn func([]string)) {
+	n := len(items)
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := make([]string, k)
+	for {
+		for i, j := range idx {
+			sub[i] = items[j]
+		}
+		fn(sub)
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// IsRhoUncertain verifies the rho-uncertainty guarantee on a dataset.
+func IsRhoUncertain(ds *dataset.Dataset, sensitive []string, rho float64, m int) bool {
+	sens := make(map[string]bool, len(sensitive))
+	for _, s := range sensitive {
+		sens[s] = true
+	}
+	return len(rhoViolations(ds, sens, map[string]bool{}, rho, m)) == 0
+}

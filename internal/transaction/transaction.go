@@ -1,0 +1,227 @@
+// Package transaction implements the five transaction (set-valued)
+// anonymization algorithms SECRETA integrates: Apriori, LRA and VPA
+// (Terrovitis et al., VLDB J. 2011), which enforce k^m-anonymity through an
+// item generalization hierarchy, and COAT (Loukides et al., KAIS 2011) and
+// PCTA (Gkoulalas-Divanis & Loukides, TDP 2012), which are hierarchy-free
+// and enforce privacy policies under utility constraints via item merging
+// and suppression.
+package transaction
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/hierarchy"
+	"secreta/internal/policy"
+	"secreta/internal/timing"
+)
+
+// Options configures a transaction algorithm run.
+type Options struct {
+	// K is the anonymity parameter.
+	K int
+	// M is the maximum adversary itemset size for k^m-anonymity
+	// (hierarchy-based algorithms).
+	M int
+	// ItemHierarchy drives Apriori, LRA and VPA.
+	ItemHierarchy *hierarchy.Hierarchy
+	// Policy drives COAT and PCTA. COAT requires utility constraints;
+	// both require privacy constraints.
+	Policy *policy.Policy
+	// Partitions is the number of horizontal parts for LRA (default 4)
+	// and the grouping factor for VPA's vertical parts (default: one part
+	// per child of the hierarchy root).
+	Partitions int
+	// Rho is the confidence bound of RhoUncertainty, in (0,1).
+	Rho float64
+	// Sensitive lists the sensitive items of RhoUncertainty.
+	Sensitive []string
+}
+
+// Result is the outcome of a transaction algorithm run.
+type Result struct {
+	// Anonymized holds the recoded dataset, record-aligned with the
+	// input; relational attributes are untouched.
+	Anonymized *dataset.Dataset
+	// Phases is the timing breakdown.
+	Phases []timing.Phase
+	// Cut is the final hierarchy cut (hierarchy-based algorithms).
+	Cut *hierarchy.Cut
+	// Mapping is the item -> label translation (mapping-based
+	// algorithms); the empty label means the item was suppressed.
+	Mapping map[string]string
+	// Suppressed lists suppressed items.
+	Suppressed []string
+	// Generalizations counts generalization operations performed.
+	Generalizations int
+}
+
+func (o *Options) validateHierarchy(ds *dataset.Dataset) error {
+	if o.K < 1 {
+		return fmt.Errorf("transaction: k must be >= 1, got %d", o.K)
+	}
+	if o.M < 1 {
+		return fmt.Errorf("transaction: m must be >= 1, got %d", o.M)
+	}
+	if !ds.HasTransaction() {
+		return fmt.Errorf("transaction: dataset has no transaction attribute")
+	}
+	if o.ItemHierarchy == nil {
+		return fmt.Errorf("transaction: item hierarchy required")
+	}
+	for _, it := range ds.ItemDomain() {
+		if !o.ItemHierarchy.Contains(it) {
+			return fmt.Errorf("transaction: item hierarchy misses item %q", it)
+		}
+	}
+	return nil
+}
+
+func (o *Options) validatePolicy(ds *dataset.Dataset, needUtility bool) error {
+	if o.K < 1 {
+		return fmt.Errorf("transaction: k must be >= 1, got %d", o.K)
+	}
+	if !ds.HasTransaction() {
+		return fmt.Errorf("transaction: dataset has no transaction attribute")
+	}
+	if o.Policy == nil || len(o.Policy.Privacy) == 0 {
+		return fmt.Errorf("transaction: privacy policy required")
+	}
+	if needUtility && len(o.Policy.Utility) == 0 {
+		return fmt.Errorf("transaction: utility policy required")
+	}
+	return o.Policy.Validate()
+}
+
+// labelFor builds a deterministic label for a merged item group.
+func labelFor(items []string) string {
+	if len(items) == 1 {
+		return items[0]
+	}
+	return "(" + strings.Join(items, ",") + ")"
+}
+
+// groupTable tracks the item -> group mapping of COAT/PCTA.
+type groupTable struct {
+	group map[string]int // item -> group index
+	items [][]string     // group index -> sorted member items
+	dead  map[int]bool   // suppressed groups
+}
+
+func newGroupTable(domain []string) *groupTable {
+	g := &groupTable{group: make(map[string]int, len(domain)), dead: make(map[int]bool)}
+	for i, it := range domain {
+		g.group[it] = i
+		g.items = append(g.items, []string{it})
+	}
+	return g
+}
+
+// merge joins the groups of items a and b, returning the surviving group
+// index. Merging a group with itself is a no-op.
+func (g *groupTable) merge(a, b string) int {
+	ga, gb := g.group[a], g.group[b]
+	if ga == gb {
+		return ga
+	}
+	if len(g.items[gb]) > len(g.items[ga]) {
+		ga, gb = gb, ga
+	}
+	merged := append(g.items[ga], g.items[gb]...)
+	sort.Strings(merged)
+	g.items[ga] = merged
+	for _, it := range g.items[gb] {
+		g.group[it] = ga
+	}
+	g.items[gb] = nil
+	return ga
+}
+
+// suppress kills the group containing item.
+func (g *groupTable) suppress(item string) {
+	g.dead[g.group[item]] = true
+}
+
+// size returns the member count of item's group.
+func (g *groupTable) size(item string) int { return len(g.items[g.group[item]]) }
+
+// label returns the published label for an item ("" when suppressed).
+func (g *groupTable) label(item string) string {
+	gi, ok := g.group[item]
+	if !ok {
+		return item
+	}
+	if g.dead[gi] {
+		return ""
+	}
+	return labelFor(g.items[gi])
+}
+
+// mapping materializes the item -> label table.
+func (g *groupTable) mapping() map[string]string {
+	out := make(map[string]string, len(g.group))
+	for it := range g.group {
+		out[it] = g.label(it)
+	}
+	return out
+}
+
+// suppressed lists all suppressed items, sorted.
+func (g *groupTable) suppressed() []string {
+	var out []string
+	for it, gi := range g.group {
+		if g.dead[gi] {
+			out = append(out, it)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// constraintSupport counts transactions whose published item set contains
+// the published image of every item of the constraint. A constraint with a
+// suppressed item has no queryable image: it is reported as satisfied
+// (support 0 is allowed by the "support >= k or 0" semantics).
+func constraintSupport(published [][]map[string]bool, g *groupTable, c policy.PrivacyConstraint) (int, bool) {
+	labels := make(map[string]bool, len(c.Items))
+	for _, it := range c.Items {
+		l := g.label(it)
+		if l == "" {
+			return 0, true // suppressed: unqueryable, trivially protected
+		}
+		labels[l] = true
+	}
+	sup := 0
+	for _, tr := range published {
+		all := true
+		for l := range labels {
+			if !tr[0][l] {
+				all = false
+				break
+			}
+		}
+		if all {
+			sup++
+		}
+	}
+	return sup, false
+}
+
+// publishedSets precomputes, per record, the set of published labels under
+// the current grouping. The inner slice has one element to allow in-place
+// refresh without reallocating the outer structure.
+func publishedSets(ds *dataset.Dataset, g *groupTable) [][]map[string]bool {
+	out := make([][]map[string]bool, 0, len(ds.Records))
+	for r := range ds.Records {
+		set := make(map[string]bool, len(ds.Records[r].Items))
+		for _, it := range ds.Records[r].Items {
+			if l := g.label(it); l != "" {
+				set[l] = true
+			}
+		}
+		out = append(out, []map[string]bool{set})
+	}
+	return out
+}
