@@ -1,0 +1,80 @@
+// Command secreta-serve runs SECRETA as a long-lived anonymization
+// service: an HTTP API over the engine's streaming scheduler with async
+// job submission, status polling and JSON result retrieval.
+//
+//	secreta-serve -addr :8080 -workers 8
+//
+// Endpoints:
+//
+//	POST   /anonymize        submit an anonymization job
+//	POST   /evaluate         submit an evaluation job (optional sweep)
+//	POST   /compare          submit a comparison job
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        poll job status
+//	GET    /jobs/{id}/result fetch the JSON result of a done job
+//	DELETE /jobs/{id}        cancel a job
+//	GET    /healthz          liveness probe
+//	GET    /stats            result-cache and job counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secreta/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "scheduler workers per job (0: engine default)")
+	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes")
+	maxConcurrent := flag.Int("max-concurrent", 4, "jobs running at once; excess submissions queue")
+	maxPending := flag.Int("max-pending", 100, "queued+running jobs before submissions get 429")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("secreta-serve listening on %s (workers=%d)", ln.Addr(), *workers)
+	opts := server.Options{
+		Workers:           *workers,
+		MaxBodyBytes:      *maxBody,
+		MaxConcurrentJobs: *maxConcurrent,
+		MaxPendingJobs:    *maxPending,
+	}
+	if err := run(ctx, ln, opts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves the API on ln until ctx is cancelled, then drains in-flight
+// requests for up to 5s. Split from main so tests can drive it on an
+// ephemeral listener.
+func run(ctx context.Context, ln net.Listener, opts server.Options) error {
+	srv := &http.Server{
+		Handler:     server.New(ctx, opts).Handler(),
+		ReadTimeout: 30 * time.Second,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("secreta-serve: %w", err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"secreta/internal/server"
+)
+
+// TestRunServesAndShutsDown boots the real server loop on an ephemeral
+// port, checks liveness, and verifies context cancellation shuts it down.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, ln, server.Options{Workers: 2}) }()
+
+	url := "http://" + ln.Addr().String() + "/healthz"
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("healthz never came up: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+}

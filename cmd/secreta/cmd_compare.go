@@ -52,8 +52,12 @@ func cmdCompare(args []string) error {
 		cfg.Label = spec
 		bases = append(bases, cfg)
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	sweep := experiment.Sweep{Param: *vary, Start: *start, End: *end, Step: *step}
-	series, err := experiment.Compare(ds, bases, sweep, *workers)
+	// Uncached: the runtime metric must reflect real executions.
+	series, err := experiment.CompareCtx(ctx, ds, bases, sweep,
+		engine.NewScheduler(*workers, nil))
 	if err != nil {
 		return err
 	}

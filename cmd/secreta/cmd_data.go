@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"secreta/internal/dataset"
 	"secreta/internal/gen"
@@ -36,6 +38,63 @@ func cmdGenerate(args []string) error {
 		fmt.Printf(", %d distinct items, avg basket %.1f", st.DistinctItems, st.AvgSize)
 	}
 	fmt.Printf(") to %s\n", *out)
+	return nil
+}
+
+// cmdConvert round-trips a dataset between the CSV and JSON formats — the
+// JSON side is what secreta-serve requests embed.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	data := fs.String("data", "", "input dataset path (.csv or .json)")
+	trans := fs.String("trans", "", "transaction column name (when not annotated, CSV input)")
+	out := fs.String("out", "", "output dataset path (.csv or .json, by extension)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("missing -data flag")
+	}
+	if *out == "" {
+		return fmt.Errorf("missing -out flag")
+	}
+	// Dispatch strictly on extension: silently writing CSV into a
+	// ".jsonl"/typo path would only surface when a consumer rejects it.
+	isJSON := func(path string) (bool, error) {
+		switch ext := strings.ToLower(filepath.Ext(path)); ext {
+		case ".json":
+			return true, nil
+		case ".csv":
+			return false, nil
+		default:
+			return false, fmt.Errorf("unsupported extension %q in %q (want .csv or .json)", ext, path)
+		}
+	}
+	inJSON, err := isJSON(*data)
+	if err != nil {
+		return err
+	}
+	outJSON, err := isJSON(*out)
+	if err != nil {
+		return err
+	}
+	var ds *dataset.Dataset
+	if inJSON {
+		ds, err = dataset.LoadJSONFile(*data)
+	} else {
+		ds, err = loadDataset(*data, *trans)
+	}
+	if err != nil {
+		return err
+	}
+	if outJSON {
+		err = ds.SaveJSONFile(*out)
+	} else {
+		err = ds.SaveFile(*out, dataset.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", ds.Len(), *out)
 	return nil
 }
 

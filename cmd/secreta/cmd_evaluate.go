@@ -59,9 +59,15 @@ func cmdEvaluate(args []string) error {
 	cfg.Rho = *rho
 	cfg.Sensitive = splitList(*sensitive)
 
+	ctx, stop := signalContext()
+	defer stop()
+	// No result cache here: sweep points must be independently executed
+	// so reported runtimes are measured, never copied from a cache hit.
+	sched := engine.NewScheduler(*workers, nil)
+
 	if *varyParam != "" {
 		sweep := experiment.Sweep{Param: *varyParam, Start: *varyStart, End: *varyEnd, Step: *varyStep}
-		series, err := experiment.VaryingRun(ds, cfg, sweep, *workers)
+		series, err := experiment.VaryingRunCtx(ctx, ds, cfg, sweep, sched)
 		if err != nil {
 			return err
 		}
@@ -78,7 +84,11 @@ func cmdEvaluate(args []string) error {
 		return nil
 	}
 
-	res := engine.Run(ds, cfg)
+	results, err := sched.RunAll(ctx, ds, []engine.Config{cfg})
+	if err != nil {
+		return err
+	}
+	res := results[0]
 	if res.Err != nil {
 		return res.Err
 	}
@@ -146,22 +156,11 @@ func cmdEvaluate(args []string) error {
 
 // buildConfig assembles an engine.Config from CLI flags.
 func buildConfig(ds *dataset.Dataset, algo string, k, m int, delta float64, qis, hierDir string, fanout int, workloadPath, privPath, utilPath string) (engine.Config, error) {
-	mode, rel, tra, flavor, err := parseCombo(algo)
+	cfg, err := engine.ConfigFromSpec(algo)
 	if err != nil {
 		return engine.Config{}, err
 	}
-	cfg := engine.Config{K: k, M: m, Delta: delta, QIs: splitList(qis)}
-	switch mode {
-	case "relational":
-		cfg.Mode = engine.Relational
-		cfg.Algorithm = rel
-	case "transaction":
-		cfg.Mode = engine.Transactional
-		cfg.Algorithm = tra
-	default:
-		cfg.Mode = engine.RT
-		cfg.RelAlgo, cfg.TransAlgo, cfg.Flavor = rel, tra, flavor
-	}
+	cfg.K, cfg.M, cfg.Delta, cfg.QIs = k, m, delta, splitList(qis)
 	if cfg.Mode != engine.Transactional {
 		cfg.Hierarchies, err = loadHierarchies(ds, hierDir, fanout)
 		if err != nil {

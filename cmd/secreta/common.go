@@ -1,18 +1,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"secreta/internal/dataset"
-	"secreta/internal/engine"
 	"secreta/internal/gen"
 	"secreta/internal/generalize"
 	"secreta/internal/hierarchy"
-	"secreta/internal/rt"
 )
+
+// signalContext returns a context cancelled by the first Ctrl-C, so
+// in-flight scheduler work stops cleanly instead of the process dying
+// mid-write. Releasing the handler on cancellation (AfterFunc) restores
+// default delivery: a second Ctrl-C force-quits even while a
+// context-unaware algorithm finishes its run.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}
 
 // loadDataset reads a dataset CSV, detecting kinds when the header carries
 // no annotations and honoring an explicit transaction column name.
@@ -56,49 +67,6 @@ func loadItemHierarchy(ds *dataset.Dataset, hierDir string, fanout int) (*hierar
 		return gen.ItemHierarchy(ds, fanout)
 	}
 	return hierarchy.LoadFile(ds.TransName, path)
-}
-
-// parseCombo parses "rel+trans/flavor" (RT mode), "trans" or "rel" single-
-// algorithm strings into configuration pieces.
-func parseCombo(s string) (mode string, rel, trans string, flavor rt.Flavor, err error) {
-	s = strings.TrimSpace(s)
-	flavor = rt.RMerge
-	if body, fl, found := cutLast(s, "/"); found {
-		flavor, err = rt.ParseFlavor(fl)
-		if err != nil {
-			return "", "", "", 0, err
-		}
-		s = body
-	}
-	if r, t, found := strings.Cut(s, "+"); found {
-		return "rt", strings.TrimSpace(r), strings.TrimSpace(t), flavor, nil
-	}
-	lower := strings.ToLower(s)
-	for _, name := range rt.RelationalAlgos {
-		if lower == name {
-			return "relational", lower, "", flavor, nil
-		}
-	}
-	for _, name := range rt.TransactionAlgos {
-		if lower == name {
-			return "transaction", "", lower, flavor, nil
-		}
-	}
-	for _, name := range engine.ExtensionAlgos {
-		if lower == name {
-			return "transaction", "", lower, flavor, nil
-		}
-	}
-	return "", "", "", 0, fmt.Errorf("unknown algorithm %q (relational: %v; transaction: %v; extensions: %v; RT: rel+trans[/flavor])",
-		s, rt.RelationalAlgos, rt.TransactionAlgos, engine.ExtensionAlgos)
-}
-
-func cutLast(s, sep string) (before, after string, found bool) {
-	i := strings.LastIndex(s, sep)
-	if i < 0 {
-		return s, "", false
-	}
-	return s[:i], s[i+len(sep):], true
 }
 
 // splitList splits a comma-separated flag value, trimming blanks.

@@ -26,6 +26,7 @@ type command struct {
 var commands = []command{
 	{"generate", "synthesize a census-like RT-dataset (CSV)", cmdGenerate},
 	{"stats", "inspect a dataset: schema, summaries, histograms", cmdStats},
+	{"convert", "convert a dataset between CSV and JSON (secreta-serve payloads)", cmdConvert},
 	{"hierarchy", "derive generalization hierarchies from data", cmdHierarchy},
 	{"queries", "generate a COUNT-query workload", cmdQueries},
 	{"policy", "generate privacy and utility policies", cmdPolicy},

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"secreta/internal/dataset"
+	"secreta/internal/engine"
 	"secreta/internal/rt"
 )
 
@@ -165,25 +167,64 @@ func TestCompareCommand(t *testing.T) {
 	})
 }
 
-func TestParseCombo(t *testing.T) {
-	mode, rel, tra, flavor, err := parseCombo("cluster+coat/tmerger")
-	if err != nil || mode != "rt" || rel != "cluster" || tra != "coat" || flavor != rt.TMerge {
-		t.Errorf("parseCombo = %v %v %v %v %v", mode, rel, tra, flavor, err)
+func TestConfigFromSpec(t *testing.T) {
+	cfg, err := engine.ConfigFromSpec("cluster+coat/tmerger")
+	if err != nil || cfg.Mode != engine.RT || cfg.RelAlgo != "cluster" || cfg.TransAlgo != "coat" || cfg.Flavor != rt.TMerge {
+		t.Errorf("ConfigFromSpec rt = %+v, %v", cfg, err)
 	}
-	mode, rel, _, _, err = parseCombo("incognito")
-	if err != nil || mode != "relational" || rel != "incognito" {
-		t.Errorf("parseCombo relational = %v %v %v", mode, rel, err)
+	cfg, err = engine.ConfigFromSpec("incognito")
+	if err != nil || cfg.Mode != engine.Relational || cfg.Algorithm != "incognito" {
+		t.Errorf("ConfigFromSpec relational = %+v, %v", cfg, err)
 	}
-	mode, _, tra, _, err = parseCombo("pcta")
-	if err != nil || mode != "transaction" || tra != "pcta" {
-		t.Errorf("parseCombo transaction = %v %v %v", mode, tra, err)
+	cfg, err = engine.ConfigFromSpec("pcta")
+	if err != nil || cfg.Mode != engine.Transactional || cfg.Algorithm != "pcta" {
+		t.Errorf("ConfigFromSpec transaction = %+v, %v", cfg, err)
 	}
-	if _, _, _, _, err := parseCombo("nope"); err == nil {
+	if _, err := engine.ConfigFromSpec("nope"); err == nil {
 		t.Error("bad combo accepted")
 	}
-	if _, _, _, _, err := parseCombo("cluster+apriori/bogus"); err == nil {
+	if _, err := engine.ConfigFromSpec("cluster+apriori/bogus"); err == nil {
 		t.Error("bad flavor accepted")
 	}
+	if _, err := engine.ConfigFromSpec("cluser+apriori"); err == nil {
+		t.Error("typoed RT relational algorithm accepted")
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	withDir(t, func(dir string) {
+		if err := cmdConvert([]string{"-data", "data.csv", "-out", "data.json"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdConvert([]string{"-data", "data.json", "-out", "back.csv"}); err != nil {
+			t.Fatal(err)
+		}
+		orig, err := dataset.LoadFile("data.csv", dataset.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := dataset.LoadFile("back.csv", dataset.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The round-trip must preserve the data exactly, including the
+		// transaction-column annotation secreta-serve payloads rely on.
+		if back.TransName != orig.TransName {
+			t.Errorf("transaction attribute %q, want %q", back.TransName, orig.TransName)
+		}
+		if back.Fingerprint() != orig.Fingerprint() {
+			t.Error("CSV -> JSON -> CSV round-trip changed the dataset")
+		}
+		if err := cmdConvert([]string{"-out", "x.json"}); err == nil {
+			t.Error("missing -data accepted")
+		}
+		if err := cmdConvert([]string{"-data", "data.csv"}); err == nil {
+			t.Error("missing -out accepted")
+		}
+		if err := cmdConvert([]string{"-data", "data.csv", "-out", "x.jsonl"}); err == nil {
+			t.Error("unknown output extension accepted")
+		}
+	})
 }
 
 func TestSplitList(t *testing.T) {

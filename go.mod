@@ -1,0 +1,3 @@
+module secreta
+
+go 1.24

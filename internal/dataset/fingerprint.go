@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a content hash of the dataset: schema, transaction
+// attribute, and every record in order. Two datasets with the same
+// fingerprint hold the same data, so the engine's result cache can key on
+// it. Every string is length-prefixed and every list is count-prefixed,
+// making the encoding injective — no two distinct datasets serialize to
+// the same byte stream. The hash is recomputed on every call — datasets
+// are editable, so callers that need stability across mutations must
+// fingerprint again.
+func (d *Dataset) Fingerprint() string {
+	h := sha256.New()
+	writeLen := func(n int) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(n))
+		h.Write(b[:])
+	}
+	writeStr := func(s string) {
+		writeLen(len(s))
+		h.Write([]byte(s))
+	}
+	writeLen(len(d.Attrs))
+	for _, a := range d.Attrs {
+		writeStr(a.Name)
+		writeStr(a.Kind.String())
+	}
+	writeStr(d.TransName)
+	writeLen(len(d.Records))
+	for i := range d.Records {
+		writeLen(len(d.Records[i].Values))
+		for _, v := range d.Records[i].Values {
+			writeStr(v)
+		}
+		writeLen(len(d.Records[i].Items))
+		for _, it := range d.Records[i].Items {
+			writeStr(it)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import "testing"
+
+func fpDataset(t *testing.T, records []Record) *Dataset {
+	t.Helper()
+	ds := New([]Attribute{{Name: "A", Kind: Categorical}}, "T")
+	for _, r := range records {
+		if err := ds.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a := fpDataset(t, []Record{{Values: []string{"x"}, Items: []string{"i"}}})
+	b := fpDataset(t, []Record{{Values: []string{"x"}, Items: []string{"i"}}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal datasets fingerprint differently")
+	}
+	c := fpDataset(t, []Record{{Values: []string{"y"}, Items: []string{"i"}}})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different values share a fingerprint")
+	}
+}
+
+// TestFingerprintFramingInjective pins the encoding against framing
+// collisions: values and items containing would-be separator strings must
+// not let two different datasets serialize identically, since the engine
+// cache would then serve one dataset's results for the other.
+func TestFingerprintFramingInjective(t *testing.T) {
+	a := fpDataset(t, []Record{
+		{Values: []string{"v"}, Items: []string{"!", ";"}},
+		{Values: []string{"|"}, Items: nil},
+	})
+	b := fpDataset(t, []Record{
+		{Values: []string{"v"}, Items: []string{"!"}},
+		{Values: []string{";"}, Items: []string{"|"}},
+	})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("datasets with shifted value/item framing collide")
+	}
+	// Moving an item across a record boundary must also change the hash.
+	c := fpDataset(t, []Record{
+		{Values: []string{"v"}, Items: []string{"i", "j"}},
+		{Values: []string{"w"}, Items: nil},
+	})
+	d := fpDataset(t, []Record{
+		{Values: []string{"v"}, Items: []string{"i"}},
+		{Values: []string{"w"}, Items: []string{"j"}},
+	})
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("item moved across records does not change the fingerprint")
+	}
+}

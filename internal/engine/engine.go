@@ -7,10 +7,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"secreta/internal/dataset"
@@ -296,33 +296,9 @@ func Evaluate(orig, anon *dataset.Dataset, cfg Config) (Indicators, error) {
 // parallel anonymization module instances (the "N threads" of the paper's
 // architecture; workers <= 0 means one per configuration, capped at 8).
 // Results are returned in input order; individual failures are recorded in
-// Result.Err without failing the batch.
+// Result.Err without failing the batch. It is a convenience facade over
+// Scheduler for callers with no context or cache of their own.
 func RunAll(ds *dataset.Dataset, cfgs []Config, workers int) []*Result {
-	if workers <= 0 {
-		workers = len(cfgs)
-		if workers > 8 {
-			workers = 8
-		}
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]*Result, len(cfgs))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = Run(ds, cfgs[i])
-			}
-		}()
-	}
-	for i := range cfgs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	results, _ := NewScheduler(workers, nil).RunAll(context.Background(), ds, cfgs)
 	return results
 }

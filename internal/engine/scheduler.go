@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"secreta/internal/dataset"
+	"secreta/internal/policy"
+)
+
+// Scheduler is the engine's single concurrency path: a bounded worker pool
+// that streams results over a channel as they complete, honors context
+// cancellation, and serves repeated (dataset, configuration) pairs from a
+// result cache. RunAll, the experiment module and secreta-serve all drive
+// their work through one of these.
+type Scheduler struct {
+	workers int
+	cache   *Cache
+}
+
+// NewScheduler builds a scheduler. workers <= 0 picks one worker per
+// configuration at dispatch time, capped at 8 (the seed RunAll default).
+// cache may be nil to disable result caching.
+func NewScheduler(workers int, cache *Cache) *Scheduler {
+	return &Scheduler{workers: workers, cache: cache}
+}
+
+// Workers resolves the effective pool size for n queued configurations.
+func (s *Scheduler) Workers(n int) int {
+	w := s.workers
+	if w <= 0 {
+		w = n
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Cache returns the scheduler's result cache (nil when caching is off).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Item is one streamed completion: the input position it answers, the
+// result, and whether it was served from the cache.
+type Item struct {
+	Index    int
+	Result   *Result
+	CacheHit bool
+}
+
+// Stream executes the configurations over the dataset and emits an Item per
+// configuration as it completes, in completion order. The returned channel
+// is closed when all work is done or the context is cancelled; after
+// cancellation no further jobs are started and unfinished configurations
+// are never emitted. Failures stay per-item in Result.Err.
+//
+// Contract: the caller must either drain the channel or cancel ctx —
+// abandoning it mid-stream with a live context strands the worker
+// goroutines on their sends for the life of the process.
+func (s *Scheduler) Stream(ctx context.Context, ds *dataset.Dataset, cfgs []Config) <-chan Item {
+	out := make(chan Item)
+	workers := s.Workers(len(cfgs))
+	dsKey := ""
+	var memo *inputHasher
+	if s.cache != nil {
+		dsKey = ds.Fingerprint()
+		memo = newInputHasher()
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				item := s.runOne(ctx, ds, cfgs[i], dsKey, memo, i)
+				// Prefer delivery over the cancellation signal: when the
+				// consumer is waiting, a completed result must reach it
+				// even if ctx was cancelled meanwhile — a bare two-way
+				// select picks randomly when both cases are ready and
+				// would discard finished work half the time.
+				select {
+				case out <- item:
+					continue
+				default:
+				}
+				select {
+				case out <- item:
+				case <-ctx.Done():
+					// Last chance for a draining consumer; drop only if
+					// nobody is receiving (abandoned stream).
+					select {
+					case out <- item:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(out)
+		defer wg.Wait()
+		defer close(jobs)
+		for i := range cfgs {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// runOne executes (or recalls) a single configuration. When another
+// worker — possibly from a different scheduler sharing the cache — is
+// already computing the same key, it waits for that result instead of
+// recomputing (single-flight).
+func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config, dsKey string, memo *inputHasher, i int) Item {
+	if err := ctx.Err(); err != nil {
+		return Item{Index: i, Result: &Result{Config: cfg, Err: err}}
+	}
+	if s.cache == nil {
+		return Item{Index: i, Result: Run(ds, cfg)}
+	}
+	key := dsKey + "/" + cfg.cacheKey(memo)
+	for {
+		if r, ok := s.cache.get(key); ok {
+			// The cached Result carries the first submitter's Config
+			// (Label, pointer identities); answer with the caller's so
+			// labels aren't misattributed across requests.
+			rc := *r
+			rc.Config = cfg
+			return Item{Index: i, Result: &rc, CacheHit: true}
+		}
+		leader, wait := s.cache.claim(key)
+		if leader {
+			r := func() *Result {
+				defer s.cache.release(key)
+				r := Run(ds, cfg)
+				if r.Err == nil {
+					s.cache.put(key, r)
+				}
+				return r
+			}()
+			return Item{Index: i, Result: r}
+		}
+		// Someone else is computing this key: wait for them, then
+		// re-check the cache (they may have failed, in which case the
+		// next loop claims leadership and computes).
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return Item{Index: i, Result: &Result{Config: cfg, Err: ctx.Err()}}
+		}
+	}
+}
+
+// RunAll drains Stream into an input-ordered slice. It returns the context
+// error only when cancellation actually cost results — a cancel that lands
+// after the last configuration completed still returns the full batch, so
+// finished work is never thrown away. Unfinished slots are nil.
+func (s *Scheduler) RunAll(ctx context.Context, ds *dataset.Dataset, cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	for item := range s.Stream(ctx, ds, cfgs) {
+		results[item.Index] = item.Result
+	}
+	if err := ctx.Err(); err != nil {
+		for _, r := range results {
+			if r == nil {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// inputHasher memoizes content digests of the heavyweight shared inputs
+// (hierarchies, policies, workloads) by pointer identity for the duration
+// of one Stream call — a 100-point sweep serializes each hierarchy once,
+// not once per point. Content-addressing is preserved: the digest is still
+// of the serialized bytes, the pointer only keys the memo.
+type inputHasher struct {
+	mu sync.Mutex
+	m  map[any]string
+}
+
+func newInputHasher() *inputHasher {
+	return &inputHasher{m: make(map[any]string)}
+}
+
+func (ih *inputHasher) digest(key any, write func(w io.Writer)) string {
+	ih.mu.Lock()
+	if d, ok := ih.m[key]; ok {
+		ih.mu.Unlock()
+		return d
+	}
+	ih.mu.Unlock()
+	h := sha256.New()
+	write(h)
+	d := hex.EncodeToString(h.Sum(nil))
+	ih.mu.Lock()
+	ih.m[key] = d
+	ih.mu.Unlock()
+	return d
+}
+
+// cacheKey derives a content-based key for the configuration: scalar
+// parameters plus digests of the serialized hierarchies, policies and
+// workload, so two configs that would anonymize identically share a cache
+// entry regardless of pointer identity.
+func (c *Config) cacheKey(memo *inputHasher) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%v|%s|%s|%s|%v|%d|%d|%g|%g|%q|%q|",
+		c.Mode, c.Algorithm, c.RelAlgo, c.TransAlgo, c.Flavor,
+		c.K, c.M, c.Delta, c.Rho, c.QIs, c.Sensitive)
+	names := make([]string, 0, len(c.Hierarchies))
+	for name := range c.Hierarchies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hier := c.Hierarchies[name]
+		fmt.Fprintf(h, "h:%s:%s|", name, memo.digest(hier, func(w io.Writer) { hier.WriteCSV(w) }))
+	}
+	if c.ItemHierarchy != nil {
+		ihier := c.ItemHierarchy
+		fmt.Fprintf(h, "ih:%s|", memo.digest(ihier, func(w io.Writer) { ihier.WriteCSV(w) }))
+	}
+	if c.Policy != nil {
+		pol := c.Policy
+		fmt.Fprintf(h, "p:%s|", memo.digest(pol, func(w io.Writer) {
+			policy.WritePrivacy(w, pol.Privacy)
+			fmt.Fprintf(w, "|")
+			policy.WriteUtility(w, pol.Utility)
+		}))
+	}
+	if c.Workload != nil {
+		wl := c.Workload
+		fmt.Fprintf(h, "w:%s|", memo.digest(wl, func(w io.Writer) { wl.Write(w) }))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a snapshot of cache effectiveness counters. Misses count
+// actual computations (single-flight leaders), so Hits+Misses equals the
+// number of cache-backed runs even when duplicates arrive concurrently.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// Cache memoizes successful results by (dataset fingerprint, configuration)
+// key. It is safe for concurrent use by many scheduler runs — secreta-serve
+// shares one across all jobs — and deduplicates in-flight computations:
+// concurrent requests for the same key run it once and share the result.
+// Results handed out are shared, not copied; callers must treat them as
+// immutable.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*Result
+	flights map[string]chan struct{}
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache builds an empty result cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[string]*Result),
+		flights: make(map[string]chan struct{}),
+	}
+}
+
+func (c *Cache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+// claim registers the caller as the computer of key. When another flight
+// is already up, it returns leader=false and a channel closed when that
+// flight finishes.
+func (c *Cache) claim(key string) (leader bool, wait <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.flights[key]; ok {
+		return false, ch
+	}
+	c.flights[key] = make(chan struct{})
+	c.misses++
+	return true, nil
+}
+
+// release ends the caller's flight, waking every waiter.
+func (c *Cache) release(key string) {
+	c.mu.Lock()
+	ch := c.flights[key]
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (c *Cache) put(key string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = r
+}
+
+// Stats snapshots the hit/miss counters and entry count.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"secreta/internal/rt"
+)
+
+// ConfigFromSpec parses an algorithm spec string — "rel", "trans" or
+// "rel+trans[/flavor]" — into a Config skeleton with Mode, algorithm names
+// and flavor set. Privacy parameters, hierarchies and policies are the
+// caller's to fill in. This is the one grammar shared by the secreta CLI
+// flags and the secreta-serve request payloads.
+func ConfigFromSpec(spec string) (Config, error) {
+	s := strings.TrimSpace(spec)
+	flavor := rt.RMerge
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		f, err := rt.ParseFlavor(s[i+1:])
+		if err != nil {
+			return Config{}, err
+		}
+		flavor = f
+		s = s[:i]
+	}
+	if rel, tra, found := strings.Cut(s, "+"); found {
+		cfg := Config{
+			Mode:      RT,
+			RelAlgo:   strings.ToLower(strings.TrimSpace(rel)),
+			TransAlgo: strings.ToLower(strings.TrimSpace(tra)),
+			Flavor:    flavor,
+		}
+		// Validate both sides now so a typo fails at submission with the
+		// candidate lists, not later inside the anonymization run.
+		if !slices.Contains(rt.RelationalAlgos, cfg.RelAlgo) {
+			return Config{}, fmt.Errorf("unknown relational algorithm %q (want one of %v)", cfg.RelAlgo, rt.RelationalAlgos)
+		}
+		if !slices.Contains(rt.TransactionAlgos, cfg.TransAlgo) {
+			return Config{}, fmt.Errorf("unknown transaction algorithm %q (want one of %v)", cfg.TransAlgo, rt.TransactionAlgos)
+		}
+		return cfg, nil
+	}
+	lower := strings.ToLower(s)
+	for _, name := range rt.RelationalAlgos {
+		if lower == name {
+			return Config{Mode: Relational, Algorithm: lower}, nil
+		}
+	}
+	for _, name := range rt.TransactionAlgos {
+		if lower == name {
+			return Config{Mode: Transactional, Algorithm: lower}, nil
+		}
+	}
+	for _, name := range ExtensionAlgos {
+		if lower == name {
+			return Config{Mode: Transactional, Algorithm: lower}, nil
+		}
+	}
+	return Config{}, fmt.Errorf("unknown algorithm %q (relational: %v; transaction: %v; extensions: %v; RT: rel+trans[/flavor])",
+		spec, rt.RelationalAlgos, rt.TransactionAlgos, ExtensionAlgos)
+}

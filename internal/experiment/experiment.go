@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -120,43 +121,61 @@ func (s *Series) Runtimes() []float64 {
 // VaryingRun executes the configuration once per sweep value using the
 // engine's parallel workers and returns the assembled series.
 func VaryingRun(ds *dataset.Dataset, base engine.Config, sweep Sweep, workers int) (*Series, error) {
-	if err := sweep.Validate(); err != nil {
+	return VaryingRunCtx(context.Background(), ds, base, sweep, engine.NewScheduler(workers, nil))
+}
+
+// VaryingRunCtx is VaryingRun on an explicit scheduler: the sweep points
+// run through its worker pool (and cache, when it has one) and respect
+// context cancellation.
+func VaryingRunCtx(ctx context.Context, ds *dataset.Dataset, base engine.Config, sweep Sweep, sched *engine.Scheduler) (*Series, error) {
+	out, err := CompareCtx(ctx, ds, []engine.Config{base}, sweep, sched)
+	if err != nil {
 		return nil, err
 	}
-	values := sweep.Values()
-	cfgs := make([]engine.Config, len(values))
-	for i, v := range values {
-		cfgs[i] = sweep.apply(base, v)
-	}
-	results := engine.RunAll(ds, cfgs, workers)
-	series := &Series{Label: base.DisplayLabel(), Param: sweep.Param}
-	for i, r := range results {
-		p := Point{X: values[i], Runtime: r.Runtime, Err: r.Err}
-		if r.Err == nil {
-			p.Indicators = r.Indicators
-		}
-		series.Points = append(series.Points, p)
-	}
-	return series, nil
+	return out[0], nil
 }
 
 // Compare runs several configurations over the same sweep — the Comparison
 // mode's benchmark execution. Configurations are independent; failures stay
 // per-point.
 func Compare(ds *dataset.Dataset, bases []engine.Config, sweep Sweep, workers int) ([]*Series, error) {
+	return CompareCtx(context.Background(), ds, bases, sweep, engine.NewScheduler(workers, nil))
+}
+
+// CompareCtx fans every (configuration, sweep value) pair out as one batch
+// through the scheduler, so a wide comparison saturates the worker pool
+// instead of running series after series. Point order within each series is
+// preserved regardless of completion order.
+func CompareCtx(ctx context.Context, ds *dataset.Dataset, bases []engine.Config, sweep Sweep, sched *engine.Scheduler) ([]*Series, error) {
 	if len(bases) == 0 {
 		return nil, fmt.Errorf("experiment: no configurations to compare")
 	}
 	if err := sweep.Validate(); err != nil {
 		return nil, err
 	}
+	values := sweep.Values()
+	cfgs := make([]engine.Config, 0, len(bases)*len(values))
+	for _, base := range bases {
+		for _, v := range values {
+			cfgs = append(cfgs, sweep.apply(base, v))
+		}
+	}
+	results, err := sched.RunAll(ctx, ds, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*Series, len(bases))
 	for i, base := range bases {
-		s, err := VaryingRun(ds, base, sweep, workers)
-		if err != nil {
-			return nil, err
+		series := &Series{Label: base.DisplayLabel(), Param: sweep.Param}
+		for j, v := range values {
+			r := results[i*len(values)+j]
+			p := Point{X: v, Runtime: r.Runtime, Err: r.Err}
+			if r.Err == nil {
+				p.Indicators = r.Indicators
+			}
+			series.Points = append(series.Points, p)
 		}
-		out[i] = s
+		out[i] = series
 	}
 	return out, nil
 }

@@ -100,6 +100,40 @@ func ResultsJSON(w io.Writer, results []*engine.Result) error {
 	return enc.Encode(arr)
 }
 
+// seriesJSON is the serializable view of an experiment.Series.
+type seriesJSON struct {
+	Label  string      `json:"label"`
+	Param  string      `json:"param"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	X          float64           `json:"x"`
+	RuntimeSec float64           `json:"runtime_s"`
+	Indicators engine.Indicators `json:"indicators"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// SeriesJSON writes experiment series as an indented JSON array — the
+// secreta-serve payload for evaluate sweeps and comparisons.
+func SeriesJSON(w io.Writer, series []*experiment.Series) error {
+	arr := make([]seriesJSON, len(series))
+	for i, s := range series {
+		out := seriesJSON{Label: s.Label, Param: s.Param, Points: make([]pointJSON, len(s.Points))}
+		for j, p := range s.Points {
+			pj := pointJSON{X: p.X, RuntimeSec: p.Runtime.Seconds(), Indicators: p.Indicators}
+			if p.Err != nil {
+				pj.Error = p.Err.Error()
+			}
+			out.Points[j] = pj
+		}
+		arr[i] = out
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
 // ChartSVG writes a chart as an SVG file.
 func ChartSVG(path string, c *plot.Chart, width, height int) error {
 	return writeFile(path, c.SVG(width, height))

@@ -171,16 +171,21 @@ func (c *Cut) Validate() error {
 
 // NCP returns the average NCP of the cut's nodes weighted by the number of
 // leaves each covers — the information loss of publishing at this cut,
-// assuming uniform leaf frequencies.
+// assuming uniform leaf frequencies. Per node that is NCP(n)*leaves(n) =
+// (leaves-1)/(total-1) * leaves; the numerators are summed as integers so
+// the result is independent of map iteration order — algorithms that
+// tie-break on NCP deltas (Apriori's repair choice) must see identical
+// low-order bits on every run for the whole pipeline to be deterministic.
+// Division happens once at the end, keeping the walk O(n) with no
+// allocation (this runs inside Apriori's per-candidate trial loop).
 func (c *Cut) NCP() float64 {
 	total := c.h.Root.leafCount
 	if total <= 1 {
 		return 0
 	}
-	sum := 0.0
+	var sum int64
 	for n := range c.in {
-		ncp := float64(n.leafCount-1) / float64(total-1)
-		sum += ncp * float64(n.leafCount)
+		sum += int64(n.leafCount-1) * int64(n.leafCount)
 	}
-	return sum / float64(total)
+	return float64(sum) / (float64(total-1) * float64(total))
 }

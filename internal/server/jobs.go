@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// JobView is the JSON shape of a job's status report.
+type JobView struct {
+	ID          string  `json:"job"`
+	Kind        string  `json:"kind"`
+	Status      Status  `json:"status"`
+	Error       string  `json:"error,omitempty"`
+	SubmittedAt string  `json:"submitted_at"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	DurationSec float64 `json:"duration_s,omitempty"`
+}
+
+// job is one asynchronous anonymization request being tracked by the
+// store. The run goroutine owns result/err; everything else is guarded by
+// mu.
+type job struct {
+	id     string
+	seq    int // numeric submission order; IDs are for display, seq for eviction
+	kind   string
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	status    Status
+	err       string
+	result    []byte // JSON payload, valid once status == StatusDone
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		Kind:        j.kind,
+		Status:      j.status,
+		Error:       j.err,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		// A job cancelled while still queued finishes without starting.
+		if !j.started.IsZero() {
+			v.DurationSec = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	return v
+}
+
+func (j *job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusQueued {
+		j.status = StatusRunning
+		j.started = time.Now()
+	}
+}
+
+// finish records the run outcome. A context error after cancellation maps
+// to StatusCancelled so pollers can tell "stopped by request" from
+// "failed".
+func (j *job) finish(payload []byte, err error, cancelled bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case cancelled:
+		j.status = StatusCancelled
+		if err != nil {
+			j.err = err.Error()
+		}
+	case err != nil:
+		j.status = StatusFailed
+		j.err = err.Error()
+	default:
+		j.status = StatusDone
+		j.result = payload
+	}
+}
+
+func (j *job) snapshot() (Status, []byte, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.result, j.err
+}
+
+// jobStore issues sequential job IDs and tracks jobs, evicting the oldest
+// finished jobs (results included) once the population exceeds max — a
+// long-lived server must not grow without bound.
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	max  int
+	jobs map[string]*job
+}
+
+func newJobStore(max int) *jobStore {
+	return &jobStore{max: max, jobs: make(map[string]*job)}
+}
+
+// add registers a new job, atomically rejecting it (nil) when the number
+// of non-terminal jobs has reached maxPending — the check happens under
+// the store lock so concurrent submissions cannot overshoot the cap.
+func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxPending > 0 && s.pendingLocked() >= maxPending {
+		return nil
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.seq),
+		seq:       s.seq,
+		kind:      kind,
+		cancel:    cancel,
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs until the store fits max.
+// Queued and running jobs are never evicted.
+func (s *jobStore) evictLocked() {
+	if s.max <= 0 || len(s.jobs) <= s.max {
+		return
+	}
+	var terminal []*job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		done := j.status.Terminal()
+		j.mu.Unlock()
+		if done {
+			terminal = append(terminal, j)
+		}
+	}
+	// Oldest first by numeric submission order — IDs are zero-padded for
+	// display and would misorder lexicographically past the padding width.
+	sort.Slice(terminal, func(a, b int) bool { return terminal[a].seq < terminal[b].seq })
+	for _, j := range terminal {
+		if len(s.jobs) <= s.max {
+			return
+		}
+		delete(s.jobs, j.id)
+	}
+}
+
+// remove deletes a job record outright; it reports whether id existed.
+func (s *jobStore) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return false
+	}
+	delete(s.jobs, id)
+	return true
+}
+
+func (s *jobStore) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *jobStore) list() []JobView {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// pendingLocked counts jobs that have not reached a terminal status; the
+// caller holds s.mu.
+func (s *jobStore) pendingLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if !j.status.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+func (s *jobStore) counts() map[Status]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Status]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		out[j.status]++
+		j.mu.Unlock()
+	}
+	return out
+}

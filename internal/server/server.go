@@ -1,0 +1,615 @@
+// Package server implements secreta-serve: an HTTP facade over the
+// engine's streaming scheduler. Anonymization, evaluation and comparison
+// requests are submitted as asynchronous jobs, polled for status, and their
+// JSON results retrieved when done — the "many concurrent users" deployment
+// the paper's desktop frontend never had. Anonymize jobs share one result
+// cache, so identical (dataset, configuration) submissions are served
+// without recomputation; evaluate/compare jobs always execute so their
+// runtime series are measured.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"secreta/internal/dataset"
+	"secreta/internal/engine"
+	"secreta/internal/experiment"
+	"secreta/internal/export"
+	"secreta/internal/gen"
+	"secreta/internal/generalize"
+	"secreta/internal/hierarchy"
+	"secreta/internal/query"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds each job's scheduler pool (<= 0: engine default).
+	Workers int
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxJobs caps retained job records; the oldest finished jobs (and
+	// their result payloads) are evicted beyond it (default 1000).
+	MaxJobs int
+	// MaxConcurrentJobs bounds jobs running at once across the server;
+	// excess submissions wait in StatusQueued (default 4).
+	MaxConcurrentJobs int
+	// MaxPendingJobs bounds queued+running jobs; beyond it submissions
+	// are rejected with 429 so a flood can't grow the store or the queue
+	// without limit (default 100).
+	MaxPendingJobs int
+}
+
+// Server routes the secreta-serve HTTP API and owns the job store, the
+// schedulers and the shared result cache.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	jobs *jobStore
+	// sched serves single-configuration jobs from the shared cache;
+	// uncached runs sweep/compare jobs, whose per-point runtime series
+	// are benchmarks and must be measured, never copied from a cache hit.
+	sched    *engine.Scheduler
+	uncached *engine.Scheduler
+	cache    *engine.Cache
+	baseCtx  context.Context
+	// slots is the admission semaphore: a job must hold a slot to run.
+	slots chan struct{}
+}
+
+// New builds a server whose jobs are children of ctx: cancelling it (e.g.
+// on process shutdown) cancels every in-flight job.
+func New(ctx context.Context, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 1000
+	}
+	if opts.MaxConcurrentJobs <= 0 {
+		opts.MaxConcurrentJobs = 4
+	}
+	if opts.MaxPendingJobs <= 0 {
+		opts.MaxPendingJobs = 100
+	}
+	cache := engine.NewCache()
+	s := &Server{
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		jobs:     newJobStore(opts.MaxJobs),
+		sched:    engine.NewScheduler(opts.Workers, cache),
+		uncached: engine.NewScheduler(opts.Workers, nil),
+		cache:    cache,
+		baseCtx:  ctx,
+		slots:    make(chan struct{}, opts.MaxConcurrentJobs),
+	}
+	s.mux.HandleFunc("POST /anonymize", s.handleAnonymize)
+	s.mux.HandleFunc("POST /evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /compare", s.handleCompare)
+	s.mux.HandleFunc("GET /jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ---- request payloads ----
+
+// ConfigRequest describes one anonymization configuration. Hierarchies are
+// auto-generated from the dataset with the given fanout, mirroring the CLI
+// default when no hierarchy directory is supplied.
+type ConfigRequest struct {
+	Label     string   `json:"label,omitempty"`
+	Algo      string   `json:"algo"`
+	K         int      `json:"k"`
+	M         int      `json:"m,omitempty"`
+	Delta     float64  `json:"delta,omitempty"`
+	Rho       float64  `json:"rho,omitempty"`
+	Sensitive []string `json:"sensitive,omitempty"`
+	QIs       []string `json:"qis,omitempty"`
+	Fanout    int      `json:"fanout,omitempty"`
+}
+
+// SweepRequest describes a varying-parameter execution.
+type SweepRequest struct {
+	Param string  `json:"param"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Step  float64 `json:"step"`
+}
+
+func (sr *SweepRequest) sweep() experiment.Sweep {
+	return experiment.Sweep{Param: sr.Param, Start: sr.Start, End: sr.End, Step: sr.Step}
+}
+
+// AnonymizeRequest is the POST /anonymize and POST /evaluate body; Sweep is
+// only honored by /evaluate.
+type AnonymizeRequest struct {
+	Dataset  json.RawMessage `json:"dataset"`
+	Config   ConfigRequest   `json:"config"`
+	Sweep    *SweepRequest   `json:"sweep,omitempty"`
+	Workload []string        `json:"workload,omitempty"`
+}
+
+// CompareRequest is the POST /compare body.
+type CompareRequest struct {
+	Dataset  json.RawMessage `json:"dataset"`
+	Configs  []ConfigRequest `json:"configs"`
+	Sweep    SweepRequest    `json:"sweep"`
+	Workload []string        `json:"workload,omitempty"`
+}
+
+// hierSet memoizes per-fanout hierarchy derivation within one request, so
+// a /compare with N configs sharing a fanout derives them once, not N
+// times.
+type hierSet struct {
+	ds    *dataset.Dataset
+	rel   map[int]generalize.Set
+	items map[int]*hierarchy.Hierarchy
+}
+
+func newHierSet(ds *dataset.Dataset) *hierSet {
+	return &hierSet{ds: ds, rel: make(map[int]generalize.Set), items: make(map[int]*hierarchy.Hierarchy)}
+}
+
+func (h *hierSet) relational(fanout int) (generalize.Set, error) {
+	if hs, ok := h.rel[fanout]; ok {
+		return hs, nil
+	}
+	hs, err := gen.Hierarchies(h.ds, fanout)
+	if err != nil {
+		return nil, err
+	}
+	h.rel[fanout] = hs
+	return hs, nil
+}
+
+func (h *hierSet) item(fanout int) (*hierarchy.Hierarchy, error) {
+	if ih, ok := h.items[fanout]; ok {
+		return ih, nil
+	}
+	ih, err := gen.ItemHierarchy(h.ds, fanout)
+	if err != nil {
+		return nil, err
+	}
+	h.items[fanout] = ih
+	return ih, nil
+}
+
+// validateConfig parses the algorithm spec and parameters — everything
+// checkable without touching the dataset — so bad submissions fail fast
+// with 400 while the heavy per-dataset work stays inside the admitted job.
+// It returns the config skeleton and the hierarchy fanout.
+func validateConfig(req ConfigRequest) (engine.Config, int, error) {
+	if req.K <= 0 {
+		return engine.Config{}, 0, fmt.Errorf("config: k must be positive, got %d", req.K)
+	}
+	cfg, err := engine.ConfigFromSpec(req.Algo)
+	if err != nil {
+		return engine.Config{}, 0, fmt.Errorf("config: %w", err)
+	}
+	cfg.Label = req.Label
+	cfg.K = req.K
+	cfg.M = req.M
+	cfg.Delta = req.Delta
+	cfg.Rho = req.Rho
+	cfg.Sensitive = req.Sensitive
+	cfg.QIs = req.QIs
+	fanout := req.Fanout
+	if fanout <= 0 {
+		fanout = 4
+	}
+	return cfg, fanout, nil
+}
+
+// parseWorkload parses inline workload lines (nil when absent).
+func parseWorkload(lines []string) (*query.Workload, error) {
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	w, err := query.Read(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return w, nil
+}
+
+// attachInputs derives the hierarchies the config's mode needs and sets
+// the workload. It runs inside the job, under admission control — its cost
+// is O(dataset) and must not be spendable by unadmitted requests.
+func attachInputs(cfg *engine.Config, ds *dataset.Dataset, hiers *hierSet, fanout int, w *query.Workload) error {
+	var err error
+	if cfg.Mode != engine.Transactional {
+		if cfg.Hierarchies, err = hiers.relational(fanout); err != nil {
+			return fmt.Errorf("config: deriving hierarchies: %w", err)
+		}
+	}
+	if cfg.Mode != engine.Relational && ds.HasTransaction() {
+		if cfg.ItemHierarchy, err = hiers.item(fanout); err != nil {
+			return fmt.Errorf("config: deriving item hierarchy: %w", err)
+		}
+	}
+	cfg.Workload = w
+	return nil
+}
+
+// hasDataset reports whether the request actually carries a dataset
+// payload (absent and JSON null both count as missing).
+func hasDataset(raw json.RawMessage) bool {
+	trimmed := bytes.TrimSpace(raw)
+	return len(trimmed) > 0 && string(trimmed) != "null"
+}
+
+func decodeDataset(raw json.RawMessage) (*dataset.Dataset, error) {
+	return dataset.ReadJSON(bytes.NewReader(raw))
+}
+
+// ---- handlers ----
+
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req AnonymizeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !hasDataset(req.Dataset) {
+		s.badRequest(w, fmt.Errorf("request has no dataset"))
+		return
+	}
+	if req.Sweep != nil {
+		// Reject rather than silently running the base config once.
+		s.badRequest(w, fmt.Errorf("sweep is not supported by /anonymize; use /evaluate"))
+		return
+	}
+	cfg, fanout, err := validateConfig(req.Config)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	workload, err := parseWorkload(req.Workload)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.submit(w, "anonymize", func(ctx context.Context) ([]byte, error) {
+		res, cacheHit, err := s.runSingle(ctx, s.sched, req.Dataset, cfg, fanout, workload)
+		if err != nil {
+			return nil, err
+		}
+		return anonymizePayload(res, cacheHit)
+	})
+}
+
+// runSingle is the shared single-configuration job body: decode the
+// dataset, attach hierarchies/workload, and execute through the given
+// scheduler. It runs inside the job, behind admission control. The bool
+// reports whether the result was served from the cache — payloads surface
+// it so a copied runtime_s is never mistaken for a fresh measurement.
+func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, raw json.RawMessage, cfg engine.Config, fanout int, workload *query.Workload) (*engine.Result, bool, error) {
+	ds, err := decodeDataset(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := attachInputs(&cfg, ds, newHierSet(ds), fanout, workload); err != nil {
+		return nil, false, err
+	}
+	var item engine.Item
+	got := false
+	for it := range sched.Stream(ctx, ds, []engine.Config{cfg}) {
+		item, got = it, true
+	}
+	if !got {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		return nil, false, fmt.Errorf("scheduler emitted no result")
+	}
+	if item.Result.Err != nil {
+		return nil, false, item.Result.Err
+	}
+	return item.Result, item.CacheHit, nil
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req AnonymizeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !hasDataset(req.Dataset) {
+		s.badRequest(w, fmt.Errorf("request has no dataset"))
+		return
+	}
+	cfg, fanout, err := validateConfig(req.Config)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	workload, err := parseWorkload(req.Workload)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if req.Sweep != nil {
+		sweep := req.Sweep.sweep()
+		if err := sweep.Validate(); err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		s.submit(w, "evaluate", func(ctx context.Context) ([]byte, error) {
+			ds, err := decodeDataset(req.Dataset)
+			if err != nil {
+				return nil, err
+			}
+			if err := attachInputs(&cfg, ds, newHierSet(ds), fanout, workload); err != nil {
+				return nil, err
+			}
+			series, err := experiment.VaryingRunCtx(ctx, ds, cfg, sweep, s.uncached)
+			if err != nil {
+				return nil, err
+			}
+			return seriesPayload([]*experiment.Series{series})
+		})
+		return
+	}
+	s.submit(w, "evaluate", func(ctx context.Context) ([]byte, error) {
+		// Uncached like the CLI: /evaluate is a measurement, so its
+		// runtime must come from a real execution.
+		res, _, err := s.runSingle(ctx, s.uncached, req.Dataset, cfg, fanout, workload)
+		if err != nil {
+			return nil, err
+		}
+		return resultsPayload([]*engine.Result{res})
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !hasDataset(req.Dataset) {
+		s.badRequest(w, fmt.Errorf("request has no dataset"))
+		return
+	}
+	if len(req.Configs) == 0 {
+		s.badRequest(w, fmt.Errorf("compare request has no configs"))
+		return
+	}
+	bases := make([]engine.Config, len(req.Configs))
+	fanouts := make([]int, len(req.Configs))
+	for i, cr := range req.Configs {
+		cfg, fanout, err := validateConfig(cr)
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("config %d: %w", i, err))
+			return
+		}
+		if cfg.Label == "" {
+			cfg.Label = cr.Algo
+		}
+		bases[i], fanouts[i] = cfg, fanout
+	}
+	workload, err := parseWorkload(req.Workload)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sweep := req.Sweep.sweep()
+	if err := sweep.Validate(); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.submit(w, "compare", func(ctx context.Context) ([]byte, error) {
+		ds, err := decodeDataset(req.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		hiers := newHierSet(ds)
+		for i := range bases {
+			if err := attachInputs(&bases[i], ds, hiers, fanouts[i], workload); err != nil {
+				return nil, err
+			}
+		}
+		series, err := experiment.CompareCtx(ctx, ds, bases, sweep, s.uncached)
+		if err != nil {
+			return nil, err
+		}
+		return seriesPayload(series)
+	})
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.notFound(w, r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.notFound(w, r.PathValue("id"))
+		return
+	}
+	status, result, errMsg := j.snapshot()
+	switch status {
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case StatusFailed:
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"job": j.id, "status": status, "error": errMsg,
+		})
+	case StatusCancelled:
+		writeJSON(w, http.StatusGone, map[string]any{
+			"job": j.id, "status": status,
+		})
+	default:
+		// Not finished yet: tell the poller to come back.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, j.view())
+	}
+}
+
+// handleJobCancel stops a queued/running job; on a job that already
+// finished it deletes the record (and its retained result) instead.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.notFound(w, r.PathValue("id"))
+		return
+	}
+	if v := j.view(); v.Status.Terminal() {
+		s.jobs.remove(j.id)
+		writeJSON(w, http.StatusOK, map[string]any{"job": j.id, "status": v.Status, "deleted": true})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache": s.cache.Stats(),
+		"jobs":  s.jobs.counts(),
+	})
+}
+
+// ---- plumbing ----
+
+// submit registers a job, responds 202 with its ID, and runs fn in the
+// background under a per-job cancellable context. Jobs wait in
+// StatusQueued for an admission slot, so at most MaxConcurrentJobs run at
+// once regardless of the submission rate; past MaxPendingJobs the request
+// is rejected outright with 429.
+func (s *Server) submit(w http.ResponseWriter, kind string, fn func(context.Context) ([]byte, error)) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := s.jobs.add(kind, cancel, s.opts.MaxPendingJobs)
+	if j == nil {
+		cancel()
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": fmt.Sprintf("server saturated: %d jobs pending", s.opts.MaxPendingJobs),
+		})
+		return
+	}
+	go func() {
+		defer cancel()
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			j.finish(nil, ctx.Err(), true)
+			return
+		}
+		// The slot race can admit a job whose context was cancelled while
+		// it queued; don't burn the slot on dataset decoding for it.
+		if err := ctx.Err(); err != nil {
+			j.finish(nil, err, true)
+			return
+		}
+		j.start()
+		payload, err := fn(ctx)
+		j.finish(payload, err, ctx.Err() != nil)
+	}()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			})
+			return false
+		}
+		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+}
+
+func (s *Server) notFound(w http.ResponseWriter, id string) {
+	writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("no job %q", id)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ---- result payloads, built on the Data Export Module ----
+
+// resultsPayload wraps export.ResultsJSON: {"results": [...]}, byte-for-
+// byte the same result objects `secreta evaluate -results` writes.
+func resultsPayload(results []*engine.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := export.ResultsJSON(&buf, results); err != nil {
+		return nil, err
+	}
+	return wrap("results", buf.Bytes())
+}
+
+// anonymizePayload additionally inlines the anonymized dataset in the
+// dataset package's JSON format, and flags cache-served results so their
+// runtime_s is not read as a fresh measurement.
+func anonymizePayload(res *engine.Result, cacheHit bool) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := export.ResultsJSON(&buf, []*engine.Result{res}); err != nil {
+		return nil, err
+	}
+	var data bytes.Buffer
+	if err := res.Anonymized.WriteJSON(&data); err != nil {
+		return nil, err
+	}
+	hit, err := json.Marshal(cacheHit)
+	if err != nil {
+		return nil, err
+	}
+	return wrap("results", buf.Bytes(), "anonymized", data.Bytes(), "cache_hit", hit)
+}
+
+func seriesPayload(series []*experiment.Series) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := export.SeriesJSON(&buf, series); err != nil {
+		return nil, err
+	}
+	return wrap("series", buf.Bytes())
+}
+
+// wrap assembles {"key": <raw>, ...} from alternating key, raw-JSON pairs.
+func wrap(kv ...any) ([]byte, error) {
+	out := make(map[string]json.RawMessage, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out[kv[i].(string)] = json.RawMessage(bytes.TrimSpace(kv[i+1].([]byte)))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -57,6 +57,7 @@ func aprioriOnCut(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarc
 			// increases the cut NCP least, among items allowed to move.
 			bestItem := ""
 			bestCost := 0.0
+			baseNCP := cut.NCP()
 			for _, g := range viol.Itemset {
 				n := h.Node(g)
 				if n == nil || n.Parent == nil {
@@ -69,7 +70,7 @@ func aprioriOnCut(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarc
 				if err := trial.Generalize(g); err != nil {
 					continue
 				}
-				cost := trial.NCP() - cut.NCP()
+				cost := trial.NCP() - baseNCP
 				if bestItem == "" || cost < bestCost {
 					bestItem, bestCost = g, cost
 				}
