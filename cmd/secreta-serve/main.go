@@ -1,20 +1,26 @@
 // Command secreta-serve runs SECRETA as a long-lived anonymization
 // service: an HTTP API over the engine's streaming scheduler with async
-// job submission, status polling and JSON result retrieval.
+// job submission, status polling, JSON result retrieval, and a
+// content-addressed dataset registry so large datasets are uploaded once
+// and referenced by ID instead of resubmitted with every job.
 //
 //	secreta-serve -addr :8080 -workers 8
 //
-// Endpoints:
+// Endpoints (see docs/API.md for the full reference):
 //
+//	POST   /datasets         upload a dataset, get a dataset_ref
+//	GET    /datasets         list registered datasets
+//	GET    /datasets/{id}    dataset metadata (size, pins)
+//	DELETE /datasets/{id}    evict a dataset (409 while a job uses it)
 //	POST   /anonymize        submit an anonymization job
 //	POST   /evaluate         submit an evaluation job (optional sweep)
 //	POST   /compare          submit a comparison job
 //	GET    /jobs             list jobs
 //	GET    /jobs/{id}        poll job status
 //	GET    /jobs/{id}/result fetch the JSON result of a done job
-//	DELETE /jobs/{id}        cancel a job
+//	DELETE /jobs/{id}        cancel a job (stops mid-algorithm)
 //	GET    /healthz          liveness probe
-//	GET    /stats            result-cache and job counters
+//	GET    /stats            cache/registry occupancy + eviction counters
 package main
 
 import (
@@ -38,6 +44,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes")
 	maxConcurrent := flag.Int("max-concurrent", 4, "jobs running at once; excess submissions queue")
 	maxPending := flag.Int("max-pending", 100, "queued+running jobs before submissions get 429")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache entry cap (0: default 1024, -1: unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte cap (0: default 256 MiB, -1: unbounded)")
+	registryDatasets := flag.Int("registry-datasets", 0, "dataset registry entry cap (0: default 64, -1: unbounded)")
+	registryBytes := flag.Int64("registry-bytes", 0, "dataset registry byte cap (0: default 1 GiB, -1: unbounded)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -48,10 +58,14 @@ func main() {
 	}
 	log.Printf("secreta-serve listening on %s (workers=%d)", ln.Addr(), *workers)
 	opts := server.Options{
-		Workers:           *workers,
-		MaxBodyBytes:      *maxBody,
-		MaxConcurrentJobs: *maxConcurrent,
-		MaxPendingJobs:    *maxPending,
+		Workers:             *workers,
+		MaxBodyBytes:        *maxBody,
+		MaxConcurrentJobs:   *maxConcurrent,
+		MaxPendingJobs:      *maxPending,
+		CacheMaxEntries:     *cacheEntries,
+		CacheMaxBytes:       *cacheBytes,
+		RegistryMaxDatasets: *registryDatasets,
+		RegistryMaxBytes:    *registryBytes,
 	}
 	if err := run(ctx, ln, opts); err != nil {
 		log.Fatal(err)

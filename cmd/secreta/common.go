@@ -14,11 +14,12 @@ import (
 	"secreta/internal/hierarchy"
 )
 
-// signalContext returns a context cancelled by the first Ctrl-C, so
-// in-flight scheduler work stops cleanly instead of the process dying
-// mid-write. Releasing the handler on cancellation (AfterFunc) restores
-// default delivery: a second Ctrl-C force-quits even while a
-// context-unaware algorithm finishes its run.
+// signalContext returns a context cancelled by the first Ctrl-C. The
+// context is plumbed through the scheduler into the algorithms' hot loops
+// (engine.RunCtx), so one Ctrl-C stops an anonymization mid-run — not at
+// the next configuration boundary. Releasing the handler on cancellation
+// (AfterFunc) restores default delivery: a second Ctrl-C force-quits if
+// shutdown ever stalls anyway.
 func signalContext() (context.Context, context.CancelFunc) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	context.AfterFunc(ctx, stop)

@@ -1,8 +1,12 @@
 // Package dataset implements the data model behind SECRETA's Dataset Editor:
 // tabular datasets whose attributes are relational (categorical or numeric)
 // and, optionally, a single transaction (set-valued) attribute. It supports
-// loading and storing CSV files, record- and attribute-level editing, and the
-// per-attribute statistics the frontend visualizes.
+// loading and storing CSV and JSON files, record- and attribute-level
+// editing, and the per-attribute statistics the frontend visualizes. Two
+// derived quantities serve the service layer: Fingerprint, an injective
+// content hash that keys the result cache and addresses the dataset
+// registry, and ApproxBytes, the size estimate those caches bound memory
+// with.
 package dataset
 
 import (

@@ -1,0 +1,35 @@
+package dataset
+
+// sliceOverhead approximates the Go runtime cost of one slice header plus
+// allocator slack; stringOverhead the header of one string. The estimates
+// deliberately round up: memory-bounded caches built on ApproxBytes should
+// err toward evicting early rather than overshooting their budget.
+const (
+	sliceOverhead  = 48
+	stringOverhead = 16
+)
+
+// ApproxBytes estimates the in-memory size of the dataset: every string's
+// bytes plus per-string and per-slice header overheads. It is an estimate
+// for cache accounting (registry and result-cache byte caps), not an exact
+// measurement; it scales linearly with records, values and items, which is
+// what bounding resident memory needs.
+func (d *Dataset) ApproxBytes() int64 {
+	var n int64 = sliceOverhead // Attrs
+	for _, a := range d.Attrs {
+		n += stringOverhead + int64(len(a.Name)) + 8 // Kind
+	}
+	n += stringOverhead + int64(len(d.TransName))
+	n += sliceOverhead // Records
+	for i := range d.Records {
+		r := &d.Records[i]
+		n += 2 * sliceOverhead // Values, Items headers
+		for _, v := range r.Values {
+			n += stringOverhead + int64(len(v))
+		}
+		for _, it := range r.Items {
+			n += stringOverhead + int64(len(it))
+		}
+	}
+	return n
+}

@@ -4,6 +4,12 @@
 // Evaluator/Comparator, which fans configurations out to N parallel
 // anonymization workers and collects results with runtime, phase
 // breakdowns, and the full set of utility indicators.
+//
+// All concurrent execution flows through Scheduler, a bounded worker pool
+// that streams results as they complete and honors context cancellation
+// down into the algorithms' hot loops (RunCtx). Successful runs are
+// memoized in Cache, a size-bounded LRU keyed by dataset and
+// configuration content, shared by every scheduler a server creates.
 package engine
 
 import (
@@ -127,11 +133,21 @@ type Result struct {
 }
 
 // Run executes a single configuration synchronously and evaluates it —
-// the Evaluation mode's single-parameter execution.
+// the Evaluation mode's single-parameter execution. The run cannot be
+// cancelled; use RunCtx when it should be.
 func Run(ds *dataset.Dataset, cfg Config) *Result {
+	return RunCtx(context.Background(), ds, cfg)
+}
+
+// RunCtx is Run under a context: ctx is plumbed into the algorithm's hot
+// loops (Apriori repair rounds, cluster absorption, lattice expansion, RT
+// merge traversal), so cancelling it aborts the run mid-algorithm — not at
+// the next configuration boundary — with Result.Err set to the context's
+// error.
+func RunCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) *Result {
 	start := time.Now()
 	res := &Result{Config: cfg}
-	anon, phases, err := dispatch(ds, cfg)
+	anon, phases, err := dispatch(ctx, ds, cfg)
 	res.Runtime = time.Since(start)
 	res.Phases = phases
 	if err != nil {
@@ -143,14 +159,14 @@ func Run(ds *dataset.Dataset, cfg Config) *Result {
 	return res
 }
 
-func dispatch(ds *dataset.Dataset, cfg Config) (*dataset.Dataset, []timing.Phase, error) {
+func dispatch(ctx context.Context, ds *dataset.Dataset, cfg Config) (*dataset.Dataset, []timing.Phase, error) {
 	switch cfg.Mode {
 	case Relational:
 		run, err := relationalByName(cfg.Algorithm)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, err := run(ds, relational.Options{K: cfg.K, QIs: cfg.QIs, Hierarchies: cfg.Hierarchies})
+		r, err := run(ds, relational.Options{Ctx: ctx, K: cfg.K, QIs: cfg.QIs, Hierarchies: cfg.Hierarchies})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -161,7 +177,8 @@ func dispatch(ds *dataset.Dataset, cfg Config) (*dataset.Dataset, []timing.Phase
 			return nil, nil, err
 		}
 		r, err := run(ds, transaction.Options{
-			K: cfg.K, M: cfg.M,
+			Ctx: ctx,
+			K:   cfg.K, M: cfg.M,
 			ItemHierarchy: cfg.ItemHierarchy,
 			Policy:        cfg.Policy,
 			Rho:           cfg.Rho,
@@ -173,7 +190,8 @@ func dispatch(ds *dataset.Dataset, cfg Config) (*dataset.Dataset, []timing.Phase
 		return r.Anonymized, r.Phases, nil
 	case RT:
 		r, err := rt.Anonymize(ds, rt.Options{
-			K: cfg.K, M: cfg.M, Delta: cfg.Delta,
+			Ctx: ctx,
+			K:   cfg.K, M: cfg.M, Delta: cfg.Delta,
 			QIs:           cfg.QIs,
 			Hierarchies:   cfg.Hierarchies,
 			ItemHierarchy: cfg.ItemHierarchy,

@@ -11,6 +11,7 @@ import (
 
 	"secreta/internal/dataset"
 	"secreta/internal/policy"
+	"secreta/internal/registry"
 )
 
 // Scheduler is the engine's single concurrency path: a bounded worker pool
@@ -130,7 +131,7 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 		return Item{Index: i, Result: &Result{Config: cfg, Err: err}}
 	}
 	if s.cache == nil {
-		return Item{Index: i, Result: Run(ds, cfg)}
+		return Item{Index: i, Result: RunCtx(ctx, ds, cfg)}
 	}
 	key := dsKey + "/" + cfg.cacheKey(memo)
 	for {
@@ -142,23 +143,33 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 			rc.Config = cfg
 			return Item{Index: i, Result: &rc, CacheHit: true}
 		}
-		leader, wait := s.cache.claim(key)
+		leader, fl := s.cache.claim(key)
 		if leader {
 			r := func() *Result {
-				defer s.cache.release(key)
-				r := Run(ds, cfg)
+				var published *Result
+				defer func() { s.cache.release(key, published) }()
+				r := RunCtx(ctx, ds, cfg)
 				if r.Err == nil {
 					s.cache.put(key, r)
+					published = r
 				}
 				return r
 			}()
 			return Item{Index: i, Result: r}
 		}
-		// Someone else is computing this key: wait for them, then
-		// re-check the cache (they may have failed, in which case the
-		// next loop claims leadership and computes).
+		// Someone else is computing this key: wait for them. A successful
+		// leader hands its result over directly — not via the cache, which
+		// may have rejected or already evicted it under its caps — so
+		// duplicates never recompute. A failed leader publishes nothing;
+		// the next loop iteration re-checks the cache and claims.
 		select {
-		case <-wait:
+		case <-fl.done:
+			if r := fl.result; r != nil {
+				s.cache.countHit()
+				rc := *r
+				rc.Config = cfg
+				return Item{Index: i, Result: &rc, CacheHit: true}
+			}
 		case <-ctx.Done():
 			return Item{Index: i, Result: &Result{Config: cfg, Err: ctx.Err()}}
 		}
@@ -251,81 +262,147 @@ func (c *Config) cacheKey(memo *inputHasher) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// CacheStats is a snapshot of cache effectiveness counters. Misses count
-// actual computations (single-flight leaders), so Hits+Misses equals the
-// number of cache-backed runs even when duplicates arrive concurrently.
+// CacheStats is a snapshot of cache effectiveness and occupancy counters.
+// Misses count actual computations (single-flight leaders), so Hits+Misses
+// equals the number of cache-backed runs even when duplicates arrive
+// concurrently. Entries/Bytes are current occupancy against the configured
+// caps; Evictions counts entries dropped to stay within them and Rejected
+// counts results too large to ever fit the byte cap.
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	MaxEntries int    `json:"max_entries"`
+	MaxBytes   int64  `json:"max_bytes"`
+	Evictions  uint64 `json:"evictions"`
+	Rejected   uint64 `json:"rejected"`
 }
 
+// Default result-cache caps: a long-lived server must not grow without
+// bound, so even NewCache is bounded. Override with NewCacheSized.
+const (
+	DefaultCacheEntries = 1024
+	DefaultCacheBytes   = 256 << 20 // 256 MiB of approximate result memory
+)
+
 // Cache memoizes successful results by (dataset fingerprint, configuration)
-// key. It is safe for concurrent use by many scheduler runs — secreta-serve
-// shares one across all jobs — and deduplicates in-flight computations:
-// concurrent requests for the same key run it once and share the result.
-// Results handed out are shared, not copied; callers must treat them as
-// immutable.
+// key in a size-bounded LRU: beyond the entry or byte cap the least
+// recently used results are evicted, so a long-lived server's cache memory
+// stays flat under sustained novel traffic. It is safe for concurrent use
+// by many scheduler runs — secreta-serve shares one across all jobs — and
+// deduplicates in-flight computations: concurrent requests for the same
+// key run it once and share the result. Results handed out are shared, not
+// copied; callers must treat them as immutable.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*Result
-	flights map[string]chan struct{}
+	lru     *registry.LRU
+	mu      sync.Mutex // guards flights and the hit/miss counters
+	flights map[string]*flight
 	hits    uint64
 	misses  uint64
 }
 
-// NewCache builds an empty result cache.
+// flight is one in-progress computation. done is closed when the leader
+// finishes; result carries its successful outcome directly to the
+// waiters, so in-flight dedup holds even when the bounded cache rejects
+// or immediately evicts the entry — a result bigger than the byte cap
+// must not turn N concurrent identical requests into N serial
+// recomputations. A failed flight leaves result nil and the waiters
+// re-claim.
+type flight struct {
+	done   chan struct{}
+	result *Result
+}
+
+// NewCache builds a result cache with the default caps.
 func NewCache() *Cache {
+	return NewCacheSized(DefaultCacheEntries, DefaultCacheBytes)
+}
+
+// NewCacheSized builds a result cache bounded by maxEntries entries and
+// maxBytes of approximate result memory (the anonymized dataset dominates
+// a result's size). A cap <= 0 disables that bound.
+func NewCacheSized(maxEntries int, maxBytes int64) *Cache {
 	return &Cache{
-		entries: make(map[string]*Result),
-		flights: make(map[string]chan struct{}),
+		lru:     registry.NewLRU(maxEntries, maxBytes),
+		flights: make(map[string]*flight),
 	}
 }
 
 func (c *Cache) get(key string) (*Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.entries[key]
-	if ok {
-		c.hits++
+	v, ok := c.lru.Get(key)
+	if !ok {
+		return nil, false
 	}
-	return r, ok
+	c.countHit()
+	return v.(*Result), true
+}
+
+// countHit records a cache-backed answer that skipped computation —
+// an LRU hit or a result handed over by a finishing flight.
+func (c *Cache) countHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
 }
 
 // claim registers the caller as the computer of key. When another flight
-// is already up, it returns leader=false and a channel closed when that
-// flight finishes.
-func (c *Cache) claim(key string) (leader bool, wait <-chan struct{}) {
+// is already up, it returns leader=false and that flight; its done
+// channel closes when the leader finishes.
+func (c *Cache) claim(key string) (leader bool, f *flight) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if ch, ok := c.flights[key]; ok {
-		return false, ch
+	if f, ok := c.flights[key]; ok {
+		return false, f
 	}
-	c.flights[key] = make(chan struct{})
+	c.flights[key] = &flight{done: make(chan struct{})}
 	c.misses++
 	return true, nil
 }
 
-// release ends the caller's flight, waking every waiter.
-func (c *Cache) release(key string) {
+// release ends the caller's flight, publishing r (nil when the run
+// failed) to the waiters and waking them.
+func (c *Cache) release(key string, r *Result) {
 	c.mu.Lock()
-	ch := c.flights[key]
+	f := c.flights[key]
 	delete(c.flights, key)
 	c.mu.Unlock()
-	if ch != nil {
-		close(ch)
+	if f != nil {
+		f.result = r
+		close(f.done)
 	}
 }
 
 func (c *Cache) put(key string, r *Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = r
+	c.lru.Put(key, r, resultCost(r))
 }
 
-// Stats snapshots the hit/miss counters and entry count.
+// resultCost approximates a cached Result's resident size for the byte
+// cap: the anonymized dataset dominates; config, indicators and phase
+// timings are a small constant.
+func resultCost(r *Result) int64 {
+	var n int64 = 512
+	if r.Anonymized != nil {
+		n += r.Anonymized.ApproxBytes()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters. Hits/Misses are the scheduler-level
+// counters (misses = computations); occupancy and eviction numbers come
+// from the underlying LRU.
 func (c *Cache) Stats() CacheStats {
+	ls := c.lru.Stats()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return CacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Entries:    ls.Entries,
+		Bytes:      ls.Bytes,
+		MaxEntries: ls.MaxEntries,
+		MaxBytes:   ls.MaxBytes,
+		Evictions:  ls.Evictions,
+		Rejected:   ls.Rejected,
+	}
 }

@@ -6,6 +6,7 @@
 package lattice
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -182,13 +183,27 @@ func (l *Lattice) NodesAtLevel(level int) [][]int {
 // Walk visits every lattice node in BFS (level) order, stopping early when
 // fn returns false.
 func (l *Lattice) Walk(fn func(node []int) bool) {
+	l.WalkCtx(nil, fn) //nolint:errcheck // nil ctx cannot produce an error
+}
+
+// WalkCtx is Walk with cooperative cancellation: ctx is polled before each
+// node visit, and a cancelled context stops the expansion immediately,
+// returning its error. A nil ctx never cancels, making WalkCtx(nil, fn)
+// equivalent to Walk(fn).
+func (l *Lattice) WalkCtx(ctx context.Context, fn func(node []int) bool) error {
 	for lvl := 0; lvl <= l.MaxLevel(); lvl++ {
 		for _, n := range l.NodesAtLevel(lvl) {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if !fn(n) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // MinimalNodes filters a set of nodes down to its minimal elements under

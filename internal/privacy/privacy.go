@@ -6,6 +6,7 @@
 package privacy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -105,14 +106,34 @@ func (v Violation) String() string {
 // Apriori-style algorithms fix violations level by level, so the cap keeps
 // incremental runs cheap.
 func KMViolations(transactions [][]string, k, m, limit int) []Violation {
+	out, _ := KMViolationsCtx(nil, transactions, k, m, limit)
+	return out
+}
+
+// cancelCheckStride is how many transactions KMViolationsCtx scans between
+// context polls. The subset enumeration per transaction is the expensive
+// part (O(C(|t|, size))), so a small stride keeps the cancellation delay
+// well under the service's promptness budget without measurable overhead.
+const cancelCheckStride = 256
+
+// KMViolationsCtx is KMViolations with cooperative cancellation: ctx (nil
+// to disable) is polled every few hundred transactions during the support
+// scan — the hot path of Apriori-style repair loops — so a cancelled run
+// aborts mid-scan instead of finishing the level.
+func KMViolationsCtx(ctx context.Context, transactions [][]string, k, m, limit int) ([]Violation, error) {
 	var out []Violation
 	if k <= 1 || m <= 0 {
-		return nil
+		return nil, nil
 	}
 	for size := 1; size <= m; size++ {
 		support := make(map[string]int)
 		first := make(map[string][]string)
-		for _, tr := range transactions {
+		for ti, tr := range transactions {
+			if ctx != nil && ti%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if len(tr) < size {
 				continue
 			}
@@ -134,11 +155,11 @@ func KMViolations(transactions [][]string, k, m, limit int) []Violation {
 		for _, key := range keys {
 			out = append(out, Violation{Itemset: first[key], Support: support[key]})
 			if limit > 0 && len(out) >= limit {
-				return out
+				return out, nil
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // forEachSubset enumerates all size-k subsets of the sorted slice items in

@@ -1,0 +1,157 @@
+// Package registry provides the concurrent storage subsystem of the
+// anonymization service: a content-addressed dataset store and a generic
+// size-bounded LRU cache, both with explicit eviction and sharing
+// semantics.
+//
+// The Registry stores decoded datasets keyed by their content fingerprint,
+// so a dataset is uploaded once and referenced by ID from any number of
+// jobs instead of being resubmitted inline with each request. References
+// are ref-counted pins: a dataset pinned by a running job cannot be
+// evicted or deleted until every pin is released, while unpinned datasets
+// age out least-recently-used under configurable entry and byte caps. The
+// same LRU primitive backs the engine's result cache, giving the service
+// one bounded-memory story across both layers.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"secreta/internal/dataset"
+)
+
+// ErrPinned is returned by Remove when the dataset is held by a running
+// job.
+var ErrPinned = errors.New("registry: dataset is pinned by a running job")
+
+// ErrNotFound is returned when no dataset with the given ID is resident —
+// either it was never uploaded or it has been evicted.
+var ErrNotFound = errors.New("registry: no such dataset")
+
+// ErrTooLarge is returned by Add when a single dataset exceeds the
+// registry's byte cap and could therefore never be resident.
+var ErrTooLarge = errors.New("registry: dataset exceeds the registry byte cap")
+
+// Registry is a content-addressed store of decoded datasets. The ID of a
+// dataset is its content fingerprint: uploading identical bytes twice
+// yields the same ID and one resident copy. Safe for concurrent use.
+type Registry struct {
+	lru *LRU
+}
+
+// New builds a registry bounded by maxDatasets entries and maxBytes of
+// approximate in-memory dataset size. A cap <= 0 disables that bound.
+func New(maxDatasets int, maxBytes int64) *Registry {
+	return &Registry{lru: NewLRU(maxDatasets, maxBytes)}
+}
+
+// Info describes one resident dataset.
+type Info struct {
+	ID      string `json:"dataset_ref"`
+	Attrs   int    `json:"attrs"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	Pins    int    `json:"pins"`
+}
+
+// Add stores ds under its content fingerprint and returns the ID. Adding
+// a dataset that is already resident refreshes its recency and reports
+// created=false; the resident copy is kept, so callers must treat stored
+// datasets as immutable. Unpinned datasets may be evicted to make room;
+// when every resident is pinned the registry overshoots its caps rather
+// than bouncing the newcomer, and only a dataset larger than the whole
+// byte cap is refused (ErrTooLarge).
+func (r *Registry) Add(ds *dataset.Dataset) (id string, created bool, err error) {
+	id = ds.Fingerprint()
+	if _, ok := r.lru.Get(id); ok {
+		return id, false, nil
+	}
+	if !r.lru.Put(id, ds, ds.ApproxBytes()) {
+		return "", false, fmt.Errorf("%w (%d bytes)", ErrTooLarge, ds.ApproxBytes())
+	}
+	return id, true, nil
+}
+
+// get returns the dataset stored under id without pinning it. The result
+// may be evicted at any time after the call, which is why this is not
+// exported: jobs must use Pin.
+func (r *Registry) get(id string) (*dataset.Dataset, error) {
+	v, ok := r.lru.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return v.(*dataset.Dataset), nil
+}
+
+// Pin returns the dataset stored under id and a release func. Until
+// release is called the dataset cannot be evicted or removed, so a running
+// job's input is guaranteed resident for the job's whole lifetime.
+// release is idempotent and safe to defer unconditionally.
+func (r *Registry) Pin(id string) (*dataset.Dataset, func(), error) {
+	v, ok := r.lru.Pin(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			r.lru.Unpin(id)
+		}
+	}
+	return v.(*dataset.Dataset), release, nil
+}
+
+// Remove deletes the dataset under id. Removing a pinned dataset fails
+// with ErrPinned; removing an absent one fails with ErrNotFound.
+func (r *Registry) Remove(id string) error {
+	if !r.lru.Contains(id) {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !r.lru.Remove(id) {
+		return fmt.Errorf("%w: %q", ErrPinned, id)
+	}
+	return nil
+}
+
+// Describe returns the Info of one resident dataset without touching its
+// recency — an info probe must not keep a dataset alive.
+func (r *Registry) Describe(id string) (Info, error) {
+	var out Info
+	found := false
+	r.lru.Range(func(key string, value any, cost int64, pins int) bool {
+		if key != id {
+			return true
+		}
+		ds := value.(*dataset.Dataset)
+		out = Info{ID: key, Attrs: len(ds.Attrs), Records: len(ds.Records), Bytes: cost, Pins: pins}
+		found = true
+		return false
+	})
+	if !found {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return out, nil
+}
+
+// List describes every resident dataset, sorted by ID for determinism.
+func (r *Registry) List() []Info {
+	var out []Info
+	r.lru.Range(func(key string, value any, cost int64, pins int) bool {
+		ds := value.(*dataset.Dataset)
+		out = append(out, Info{
+			ID:      key,
+			Attrs:   len(ds.Attrs),
+			Records: len(ds.Records),
+			Bytes:   cost,
+			Pins:    pins,
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats snapshots the registry's occupancy and eviction counters.
+func (r *Registry) Stats() Stats { return r.lru.Stats() }

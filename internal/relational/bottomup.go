@@ -40,6 +40,9 @@ func BottomUp(ds *dataset.Dataset, opts Options) (*Result, error) {
 	sw.Mark("setup")
 
 	for minClassSize(n, cutProjector(ds, qis, cuts)) < opts.K {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		// Candidates: generalize the children of some parent whose
 		// subtree currently intersects the cut.
 		type candidate struct {

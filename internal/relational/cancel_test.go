@@ -1,0 +1,22 @@
+package relational
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCancelledContextAbortsEveryAlgorithm runs each relational algorithm
+// with an already-cancelled context and expects the context error back:
+// the hot loops (lattice expansion, cluster absorption, specialization and
+// generalization rounds) must poll Options.Ctx.
+func TestCancelledContextAbortsEveryAlgorithm(t *testing.T) {
+	ds, hs := smallData(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, a := range algos {
+		if _, err := a.run(ds, Options{Ctx: ctx, K: 5, Hierarchies: hs}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled context returned %v, want context.Canceled", a.name, err)
+		}
+	}
+}

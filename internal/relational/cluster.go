@@ -28,7 +28,7 @@ func Cluster(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 	sw.Mark("setup")
 
-	clusters, err := buildClusters(ds, qis, hh, opts.K)
+	clusters, err := buildClusters(ds, qis, hh, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,8 @@ func costOfAdding(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, cl 
 	return delta, newLCA, nil
 }
 
-func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, k int) ([]*clusterState, error) {
+func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, opts Options) ([]*clusterState, error) {
+	k := opts.K
 	n := len(ds.Records)
 	unassigned := make([]bool, n)
 	remaining := n
@@ -111,6 +112,11 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, k 
 		unassigned[seed] = false
 		remaining--
 		for len(cl.members) < k {
+			// Each absorption scans every unassigned record; polling here
+			// bounds cancellation delay to one scan.
+			if err := opts.interrupted(); err != nil {
+				return nil, err
+			}
 			bestR := -1
 			bestCost := 0.0
 			var bestLCA []*hierarchy.Node
@@ -143,6 +149,9 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, k 
 	for r := 0; r < n; r++ {
 		if !unassigned[r] {
 			continue
+		}
+		if err := opts.interrupted(); err != nil {
+			return nil, err
 		}
 		bestC := -1
 		bestCost := 0.0

@@ -67,7 +67,9 @@ func Incognito(ds *dataset.Dataset, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		lat.Walk(func(node []int) bool {
+		// WalkCtx polls the context between lattice nodes, so a cancelled
+		// job stops mid-expansion instead of finishing the subset.
+		if err := lat.WalkCtx(opts.Ctx, func(node []int) bool {
 			key := lattice.Key(node)
 			// Roll-up pruning: a specialization already k-anonymous
 			// implies this node is too.
@@ -91,7 +93,9 @@ func Incognito(ds *dataset.Dataset, opts Options) (*Result, error) {
 				anon[subKey][key] = true
 			}
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	sw.Mark("lattice search")
 

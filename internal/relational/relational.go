@@ -7,6 +7,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,11 @@ import (
 
 // Options configures a relational algorithm run.
 type Options struct {
+	// Ctx, when non-nil, is polled inside the algorithm's long-running
+	// loops (cluster absorption, lattice expansion, specialization
+	// rounds); once cancelled the run aborts promptly with the context's
+	// error. Nil means the run cannot be cancelled.
+	Ctx context.Context
 	// K is the anonymity parameter (k >= 2 to have any effect).
 	K int
 	// QIs names the quasi-identifier attributes; empty means all
@@ -77,6 +83,16 @@ func (o *Options) validate(ds *dataset.Dataset) ([]int, []*hierarchy.Hierarchy, 
 		}
 	}
 	return qis, hh, nil
+}
+
+// interrupted returns the options context's error, nil when no context
+// was supplied. Algorithms poll it at the top of their expensive loops so
+// cancellation takes effect mid-run with bounded delay.
+func (o *Options) interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // projector maps a record index to its (generalized) QI signature.

@@ -47,6 +47,11 @@ func TopDown(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 
 	for {
+		// One specialization round re-partitions the dataset per trial;
+		// polling here keeps cancellation delay to one round.
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		type candidate struct {
 			attr  int
 			value string

@@ -1,0 +1,25 @@
+package rt
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCancelledContextAbortsPipeline checks that Options.Ctx reaches every
+// phase of the RT pipeline: an already-cancelled context must abort the
+// run (in the relational phase, the merge traversal, or a cluster repair)
+// instead of producing a result.
+func TestCancelledContextAbortsPipeline(t *testing.T) {
+	ds, hs, ih := rtData(t, 150, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, flavor := range []Flavor{RMerge, TMerge, RTMerge} {
+		opts := baseOpts(hs, ih)
+		opts.Flavor = flavor
+		opts.Ctx = ctx
+		if _, err := Anonymize(ds, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled context returned %v, want context.Canceled", flavor, err)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,6 +83,11 @@ var TransactionAlgos = []string{"apriori", "lra", "vpa", "coat", "pcta"}
 
 // Options configures an RT-dataset anonymization run.
 type Options struct {
+	// Ctx, when non-nil, is polled throughout the pipeline — inside the
+	// relational phase, between merge-traversal iterations and during
+	// per-cluster transaction repairs — so a cancelled run stops promptly
+	// mid-algorithm with the context's error. Nil disables cancellation.
+	Ctx context.Context
 	// K is the relational anonymity parameter; also used as the k of
 	// k^m-anonymity inside classes.
 	K int
@@ -181,7 +187,7 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 
 	sw := timing.Start()
-	relRes, err := relRun(ds, relational.Options{K: opts.K, QIs: opts.QIs, Hierarchies: opts.Hierarchies})
+	relRes, err := relRun(ds, relational.Options{Ctx: opts.Ctx, K: opts.K, QIs: opts.QIs, Hierarchies: opts.Hierarchies})
 	if err != nil {
 		return nil, fmt.Errorf("rt: relational phase (%s): %w", opts.RelAlgo, err)
 	}
@@ -190,6 +196,12 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 	clusters := clustersFromClasses(ds, relRes.Anonymized, qis)
 	merges := 0
 	for {
+		// One traversal iteration scans clusters and scores merge
+		// candidates; polling here (and inside pickPartner) bounds the
+		// cancellation delay to a fraction of one iteration.
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		dirtyIdx := -1
 		for i, c := range clusters {
 			if c == nil || c.clean {
@@ -244,11 +256,19 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 	clusters = live
 	for _, c := range clusters {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		if privacy.IsKMAnonymous(nonEmpty(c.items), opts.K, opts.M) {
 			continue
 		}
 		repaired, err := repairCluster(ds, c, transRun, opts)
 		if err != nil {
+			// A repair abandoned by cancellation is not infeasible —
+			// surface the context error instead of suppressing the cluster.
+			if cerr := ctxErr(opts.Ctx); cerr != nil {
+				return nil, cerr
+			}
 			// Infeasible inside this cluster: suppress its items.
 			for i := range c.items {
 				c.items[i] = nil
@@ -389,9 +409,19 @@ func transCost(a, b *cluster, k, m int) float64 {
 	return float64(len(vs)) / float64(total)
 }
 
+// ctxErr returns ctx's error, treating a nil context as never cancelled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // pickPartner selects the best merge partner for cluster i per the bounding
 // method, returning the partner index (or -1) and the merge's relational
-// delta.
+// delta. Scoring every candidate pair is the traversal's hot path, so the
+// scan polls the options context and bails out with -1 when cancelled; the
+// caller's own poll then surfaces the context error.
 func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Options) (int, float64) {
 	type cand struct {
 		j        int
@@ -401,6 +431,9 @@ func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Opt
 	}
 	var cands []cand
 	for j, other := range clusters {
+		if ctxErr(opts.Ctx) != nil {
+			return -1, 0
+		}
 		if j == i || other == nil {
 			continue
 		}
@@ -477,7 +510,8 @@ func repairCluster(ds *dataset.Dataset, c *cluster, transRun func(*dataset.Datas
 		}
 	}
 	res, err := transRun(sub, transaction.Options{
-		K: opts.K, M: opts.M,
+		Ctx: opts.Ctx,
+		K:   opts.K, M: opts.M,
 		ItemHierarchy: opts.ItemHierarchy,
 		Policy:        clusterPolicy(sub, opts),
 	})

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"secreta/internal/dataset"
+)
+
+// uploadDataset POSTs raw dataset JSON to /datasets and returns the
+// response code and decoded body.
+func uploadDataset(t *testing.T, base string, raw json.RawMessage) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/datasets", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, decodeMap(t, resp)
+}
+
+func httpDelete(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, decodeMap(t, resp)
+}
+
+// TestDatasetUploadThenReferenceRoundTrip is the tentpole e2e: upload
+// once, submit by dataset_ref, and get the same result an inline
+// submission computes — served from the same cache entry, since the cache
+// keys on content, not on how the dataset travelled.
+func TestDatasetUploadThenReferenceRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	raw, _ := patientsJSON(t)
+
+	code, body := uploadDataset(t, ts.URL, raw)
+	if code != http.StatusCreated || body["created"] != true {
+		t.Fatalf("first upload: code=%d body=%v", code, body)
+	}
+	ref := body["dataset_ref"].(string)
+	if ref == "" {
+		t.Fatal("upload returned empty dataset_ref")
+	}
+	// Content-addressing: identical bytes, same ref, nothing new created.
+	code, body = uploadDataset(t, ts.URL, raw)
+	if code != http.StatusOK || body["created"] != false || body["dataset_ref"] != ref {
+		t.Fatalf("re-upload: code=%d body=%v", code, body)
+	}
+
+	cfg := map[string]any{"algo": "cluster", "k": 4}
+	_, sub := postJSON(t, ts.URL+"/anonymize", map[string]any{"dataset_ref": ref, "config": cfg})
+	refJob := sub["job"].(string)
+	if st := pollDone(t, ts.URL, refJob); st != StatusDone {
+		t.Fatalf("dataset_ref job ended %s", st)
+	}
+	_, sub = postJSON(t, ts.URL+"/anonymize", map[string]any{"dataset": json.RawMessage(raw), "config": cfg})
+	inlineJob := sub["job"].(string)
+	if st := pollDone(t, ts.URL, inlineJob); st != StatusDone {
+		t.Fatalf("inline job ended %s", st)
+	}
+
+	_, refRes := getJSON(t, ts.URL+"/jobs/"+refJob+"/result")
+	_, inlineRes := getJSON(t, ts.URL+"/jobs/"+inlineJob+"/result")
+	if inlineRes["cache_hit"] != true {
+		t.Error("inline submission after dataset_ref run should hit the shared cache (same content, same key)")
+	}
+	if !reflect.DeepEqual(normalize(refRes["results"]), normalize(inlineRes["results"])) {
+		t.Error("dataset_ref and inline submissions produced different results")
+	}
+
+	// The registry shows up in /stats and in the dataset listing.
+	_, stats := getJSON(t, ts.URL+"/stats")
+	reg, ok := stats["registry"].(map[string]any)
+	if !ok || reg["entries"].(float64) != 1 {
+		t.Fatalf("stats registry = %v, want 1 entry", stats["registry"])
+	}
+	code, info := getJSON(t, ts.URL+"/datasets/"+ref)
+	if code != http.StatusOK || info["records"].(float64) != 20 {
+		t.Fatalf("dataset info: code=%d body=%v", code, info)
+	}
+}
+
+func TestDatasetRefValidation(t *testing.T) {
+	ts := newTestServer(t)
+	raw, _ := patientsJSON(t)
+	cfg := map[string]any{"algo": "cluster", "k": 4}
+
+	resp, body := postJSON(t, ts.URL+"/anonymize", map[string]any{"config": cfg})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no dataset: code=%d body=%v", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/anonymize", map[string]any{
+		"dataset": json.RawMessage(raw), "dataset_ref": "abc", "config": cfg,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("both dataset and ref: code=%d body=%v", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/anonymize", map[string]any{"dataset_ref": "no-such-ref", "config": cfg})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown ref: code=%d body=%v", resp.StatusCode, body)
+	}
+	if code, _ := getJSON(t, ts.URL+"/datasets/no-such-ref"); code != http.StatusNotFound {
+		t.Errorf("info of unknown ref: code=%d", code)
+	}
+	if code, _ := httpDelete(t, ts.URL+"/datasets/no-such-ref"); code != http.StatusNotFound {
+		t.Errorf("delete of unknown ref: code=%d", code)
+	}
+}
+
+// slowBasketsJSON builds a transaction-only dataset whose Apriori run
+// takes long enough to observe a job mid-flight (uniform random baskets
+// resist generalization; see the transaction package's promptness test).
+func slowBasketsJSON(t *testing.T) json.RawMessage {
+	t.Helper()
+	// One constant relational attribute: the JSON codec requires a schema,
+	// and Apriori only looks at the transaction side anyway.
+	ds := dataset.New([]dataset.Attribute{{Name: "grp", Kind: dataset.Categorical}}, "items")
+	rng := rand.New(rand.NewSource(4))
+	for r := 0; r < 2000; r++ {
+		seen := make(map[int]bool, 10)
+		var items []string
+		for len(items) < 10 {
+			it := rng.Intn(150)
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, fmt.Sprintf("i%04d", it))
+			}
+		}
+		if err := ds.AddRecord(dataset.Record{Values: []string{"x"}, Items: items}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPinnedDatasetSurvivesJobLifecycle submits a long job by dataset_ref
+// and checks the pinning contract end to end: while the job runs the
+// dataset cannot be deleted (409); cancelling the job stops it
+// mid-algorithm; and once the job is finished the pin is released, so the
+// delete succeeds.
+func TestPinnedDatasetSurvivesJobLifecycle(t *testing.T) {
+	ts := httptest.NewServer(New(context.Background(), Options{Workers: 2, MaxConcurrentJobs: 1}).Handler())
+	t.Cleanup(ts.Close)
+
+	code, body := uploadDataset(t, ts.URL, slowBasketsJSON(t))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: code=%d body=%v", code, body)
+	}
+	ref := body["dataset_ref"].(string)
+
+	_, sub := postJSON(t, ts.URL+"/anonymize", map[string]any{
+		"dataset_ref": ref,
+		"config":      map[string]any{"algo": "apriori", "k": 30, "m": 2},
+	})
+	job := sub["job"].(string)
+
+	// The pin is taken at submission, before the 202 — so this delete
+	// deterministically sees a pinned dataset, even if the job is queued.
+	if code, body := httpDelete(t, ts.URL+"/datasets/"+ref); code != http.StatusConflict {
+		t.Fatalf("delete of pinned dataset: code=%d body=%v (job may have finished too fast)", code, body)
+	}
+
+	// Cancel mid-run; the plumbed context must end the job promptly.
+	cancelled := time.Now()
+	httpDelete(t, ts.URL+"/jobs/"+job)
+	if st := pollDone(t, ts.URL, job); st != StatusCancelled {
+		t.Fatalf("job ended %s, want cancelled", st)
+	}
+	if d := time.Since(cancelled); d > 2*time.Second {
+		t.Errorf("cancellation took %v end to end", d)
+	}
+
+	// The pin release races the job's terminal status by a hair (it runs
+	// in a defer after finish); poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := httpDelete(t, ts.URL+"/datasets/"+ref)
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dataset still undeletable after job finished (last code %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, _ := getJSON(t, ts.URL+"/datasets/"+ref); code != http.StatusNotFound {
+		t.Error("dataset still resident after delete")
+	}
+}

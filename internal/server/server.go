@@ -6,6 +6,13 @@
 // cache, so identical (dataset, configuration) submissions are served
 // without recomputation; evaluate/compare jobs always execute so their
 // runtime series are measured.
+//
+// Datasets travel either inline in the request body or, preferably, by
+// reference: POST /datasets uploads a dataset once into a content-addressed
+// registry and returns a dataset_ref, which subsequent jobs name instead of
+// re-sending the rows. Referenced datasets are pinned for the lifetime of
+// each job that uses them, so registry eviction (LRU under entry/byte caps)
+// can never pull a dataset out from under a running job.
 package server
 
 import (
@@ -25,6 +32,7 @@ import (
 	"secreta/internal/generalize"
 	"secreta/internal/hierarchy"
 	"secreta/internal/query"
+	"secreta/internal/registry"
 )
 
 // Options configures a Server.
@@ -43,7 +51,24 @@ type Options struct {
 	// are rejected with 429 so a flood can't grow the store or the queue
 	// without limit (default 100).
 	MaxPendingJobs int
+	// CacheMaxEntries and CacheMaxBytes bound the shared result cache
+	// (0: engine defaults — 1024 entries / 256 MiB; negative: unbounded).
+	CacheMaxEntries int
+	CacheMaxBytes   int64
+	// RegistryMaxDatasets and RegistryMaxBytes bound the dataset registry
+	// (0: defaults — 64 datasets / 1 GiB; negative: unbounded). Pinned
+	// datasets (in use by running jobs) are never evicted, so the caps can
+	// be transiently exceeded while every resident dataset is in use.
+	RegistryMaxDatasets int
+	RegistryMaxBytes    int64
 }
+
+// Registry defaults: generous enough for interactive use, bounded enough
+// that a long-lived server's dataset memory stays flat.
+const (
+	DefaultRegistryDatasets = 64
+	DefaultRegistryBytes    = 1 << 30 // 1 GiB of approximate dataset memory
+)
 
 // Server routes the secreta-serve HTTP API and owns the job store, the
 // schedulers and the shared result cache.
@@ -57,9 +82,27 @@ type Server struct {
 	sched    *engine.Scheduler
 	uncached *engine.Scheduler
 	cache    *engine.Cache
+	registry *registry.Registry
 	baseCtx  context.Context
 	// slots is the admission semaphore: a job must hold a slot to run.
 	slots chan struct{}
+	// uploadSlots bounds concurrent POST /datasets decodes. Uploads don't
+	// consume job slots, but decoding up to MaxBodyBytes of JSON is real
+	// CPU/memory — without a bound, a flood of uploads could saturate the
+	// machine while never tripping the job admission caps.
+	uploadSlots chan struct{}
+}
+
+// capOrDefault resolves the Options cap convention: 0 picks the default,
+// negative disables the bound (0 at the registry/cache layer).
+func capOrDefault[T int | int64](v, def T) T {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // New builds a server whose jobs are children of ctx: cancelling it (e.g.
@@ -77,7 +120,10 @@ func New(ctx context.Context, opts Options) *Server {
 	if opts.MaxPendingJobs <= 0 {
 		opts.MaxPendingJobs = 100
 	}
-	cache := engine.NewCache()
+	cache := engine.NewCacheSized(
+		capOrDefault(opts.CacheMaxEntries, engine.DefaultCacheEntries),
+		capOrDefault(opts.CacheMaxBytes, int64(engine.DefaultCacheBytes)),
+	)
 	s := &Server{
 		opts:     opts,
 		mux:      http.NewServeMux(),
@@ -85,9 +131,18 @@ func New(ctx context.Context, opts Options) *Server {
 		sched:    engine.NewScheduler(opts.Workers, cache),
 		uncached: engine.NewScheduler(opts.Workers, nil),
 		cache:    cache,
-		baseCtx:  ctx,
-		slots:    make(chan struct{}, opts.MaxConcurrentJobs),
+		registry: registry.New(
+			capOrDefault(opts.RegistryMaxDatasets, DefaultRegistryDatasets),
+			capOrDefault(opts.RegistryMaxBytes, int64(DefaultRegistryBytes)),
+		),
+		baseCtx:     ctx,
+		slots:       make(chan struct{}, opts.MaxConcurrentJobs),
+		uploadSlots: make(chan struct{}, opts.MaxConcurrentJobs),
 	}
+	s.mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
+	s.mux.HandleFunc("GET /datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /datasets/{id}", s.handleDatasetInfo)
+	s.mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
 	s.mux.HandleFunc("POST /anonymize", s.handleAnonymize)
 	s.mux.HandleFunc("POST /evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /compare", s.handleCompare)
@@ -133,20 +188,24 @@ func (sr *SweepRequest) sweep() experiment.Sweep {
 }
 
 // AnonymizeRequest is the POST /anonymize and POST /evaluate body; Sweep is
-// only honored by /evaluate.
+// only honored by /evaluate. Exactly one of Dataset (inline rows) and
+// DatasetRef (an ID returned by POST /datasets) must be set.
 type AnonymizeRequest struct {
-	Dataset  json.RawMessage `json:"dataset"`
-	Config   ConfigRequest   `json:"config"`
-	Sweep    *SweepRequest   `json:"sweep,omitempty"`
-	Workload []string        `json:"workload,omitempty"`
+	Dataset    json.RawMessage `json:"dataset,omitempty"`
+	DatasetRef string          `json:"dataset_ref,omitempty"`
+	Config     ConfigRequest   `json:"config"`
+	Sweep      *SweepRequest   `json:"sweep,omitempty"`
+	Workload   []string        `json:"workload,omitempty"`
 }
 
-// CompareRequest is the POST /compare body.
+// CompareRequest is the POST /compare body. Exactly one of Dataset and
+// DatasetRef must be set.
 type CompareRequest struct {
-	Dataset  json.RawMessage `json:"dataset"`
-	Configs  []ConfigRequest `json:"configs"`
-	Sweep    SweepRequest    `json:"sweep"`
-	Workload []string        `json:"workload,omitempty"`
+	Dataset    json.RawMessage `json:"dataset,omitempty"`
+	DatasetRef string          `json:"dataset_ref,omitempty"`
+	Configs    []ConfigRequest `json:"configs"`
+	Sweep      SweepRequest    `json:"sweep"`
+	Workload   []string        `json:"workload,omitempty"`
 }
 
 // hierSet memoizes per-fanout hierarchy derivation within one request, so
@@ -254,15 +313,47 @@ func decodeDataset(raw json.RawMessage) (*dataset.Dataset, error) {
 	return dataset.ReadJSON(bytes.NewReader(raw))
 }
 
+// resolveDataset turns a request's dataset fields into a loader. Exactly
+// one of raw (inline rows) and ref (an ID from POST /datasets) must be
+// set. A ref is resolved and pinned immediately — before the job is even
+// admitted — so registry eviction cannot remove the dataset between
+// submission and execution; the returned release (idempotent, never nil)
+// must be called when the job finishes or the submission is rejected.
+// Inline payloads decode lazily inside the job, under admission control,
+// so unadmitted requests cannot spend decode CPU.
+func (s *Server) resolveDataset(raw json.RawMessage, ref string) (load func() (*dataset.Dataset, error), release func(), err error) {
+	inline := hasDataset(raw)
+	switch {
+	case inline && ref != "":
+		return nil, nil, fmt.Errorf("request has both dataset and dataset_ref; provide exactly one")
+	case !inline && ref == "":
+		return nil, nil, fmt.Errorf("request has no dataset (inline dataset or dataset_ref required)")
+	case inline:
+		return func() (*dataset.Dataset, error) { return decodeDataset(raw) }, func() {}, nil
+	}
+	ds, release, err := s.registry.Pin(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func() (*dataset.Dataset, error) { return ds, nil }, release, nil
+}
+
+// datasetError writes the right status for a dataset resolution failure:
+// an unknown (or already evicted) dataset_ref is 404, everything else is a
+// plain bad request.
+func (s *Server) datasetError(w http.ResponseWriter, err error) {
+	if errors.Is(err, registry.ErrNotFound) {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	s.badRequest(w, err)
+}
+
 // ---- handlers ----
 
 func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	var req AnonymizeRequest
 	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	if !hasDataset(req.Dataset) {
-		s.badRequest(w, fmt.Errorf("request has no dataset"))
 		return
 	}
 	if req.Sweep != nil {
@@ -280,8 +371,13 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	s.submit(w, "anonymize", func(ctx context.Context) ([]byte, error) {
-		res, cacheHit, err := s.runSingle(ctx, s.sched, req.Dataset, cfg, fanout, workload)
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	if err != nil {
+		s.datasetError(w, err)
+		return
+	}
+	s.submit(w, "anonymize", release, func(ctx context.Context) ([]byte, error) {
+		res, cacheHit, err := s.runSingle(ctx, s.sched, load, cfg, fanout, workload)
 		if err != nil {
 			return nil, err
 		}
@@ -289,13 +385,14 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runSingle is the shared single-configuration job body: decode the
-// dataset, attach hierarchies/workload, and execute through the given
-// scheduler. It runs inside the job, behind admission control. The bool
-// reports whether the result was served from the cache — payloads surface
-// it so a copied runtime_s is never mistaken for a fresh measurement.
-func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, raw json.RawMessage, cfg engine.Config, fanout int, workload *query.Workload) (*engine.Result, bool, error) {
-	ds, err := decodeDataset(raw)
+// runSingle is the shared single-configuration job body: load the dataset
+// (decode inline rows, or hand back the pinned registry copy), attach
+// hierarchies/workload, and execute through the given scheduler. It runs
+// inside the job, behind admission control. The bool reports whether the
+// result was served from the cache — payloads surface it so a copied
+// runtime_s is never mistaken for a fresh measurement.
+func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, load func() (*dataset.Dataset, error), cfg engine.Config, fanout int, workload *query.Workload) (*engine.Result, bool, error) {
+	ds, err := load()
 	if err != nil {
 		return nil, false, err
 	}
@@ -324,10 +421,6 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if !hasDataset(req.Dataset) {
-		s.badRequest(w, fmt.Errorf("request has no dataset"))
-		return
-	}
 	cfg, fanout, err := validateConfig(req.Config)
 	if err != nil {
 		s.badRequest(w, err)
@@ -344,8 +437,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			s.badRequest(w, err)
 			return
 		}
-		s.submit(w, "evaluate", func(ctx context.Context) ([]byte, error) {
-			ds, err := decodeDataset(req.Dataset)
+		load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+		if err != nil {
+			s.datasetError(w, err)
+			return
+		}
+		s.submit(w, "evaluate", release, func(ctx context.Context) ([]byte, error) {
+			ds, err := load()
 			if err != nil {
 				return nil, err
 			}
@@ -360,10 +458,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.submit(w, "evaluate", func(ctx context.Context) ([]byte, error) {
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	if err != nil {
+		s.datasetError(w, err)
+		return
+	}
+	s.submit(w, "evaluate", release, func(ctx context.Context) ([]byte, error) {
 		// Uncached like the CLI: /evaluate is a measurement, so its
 		// runtime must come from a real execution.
-		res, _, err := s.runSingle(ctx, s.uncached, req.Dataset, cfg, fanout, workload)
+		res, _, err := s.runSingle(ctx, s.uncached, load, cfg, fanout, workload)
 		if err != nil {
 			return nil, err
 		}
@@ -374,10 +477,6 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req CompareRequest
 	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	if !hasDataset(req.Dataset) {
-		s.badRequest(w, fmt.Errorf("request has no dataset"))
 		return
 	}
 	if len(req.Configs) == 0 {
@@ -407,8 +506,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	s.submit(w, "compare", func(ctx context.Context) ([]byte, error) {
-		ds, err := decodeDataset(req.Dataset)
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	if err != nil {
+		s.datasetError(w, err)
+		return
+	}
+	s.submit(w, "compare", release, func(ctx context.Context) ([]byte, error) {
+		ds, err := load()
 		if err != nil {
 			return nil, err
 		}
@@ -424,6 +528,88 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		}
 		return seriesPayload(series)
 	})
+}
+
+// handleDatasetUpload stores the posted dataset — the same JSON format the
+// inline "dataset" field carries — in the content-addressed registry and
+// returns its dataset_ref. The ref is the dataset's content fingerprint:
+// re-uploading identical content yields the same ref (created=false, 200)
+// and refreshes its recency; new content answers 201.
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.uploadSlots <- struct{}{}:
+		defer func() { <-s.uploadSlots }()
+	default:
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": fmt.Sprintf("server saturated: %d dataset uploads in flight", cap(s.uploadSlots)),
+		})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	ds, err := dataset.ReadJSON(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			})
+			return
+		}
+		s.badRequest(w, fmt.Errorf("decoding dataset: %w", err))
+		return
+	}
+	id, created, err := s.registry.Add(ds)
+	if err != nil {
+		// Only ErrTooLarge reaches here: the dataset alone exceeds the
+		// registry byte cap and could never be resident.
+		writeJSON(w, http.StatusInsufficientStorage, map[string]any{"error": err.Error()})
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, map[string]any{
+		"dataset_ref": id,
+		"created":     created,
+		"attrs":       len(ds.Attrs),
+		"records":     len(ds.Records),
+		"bytes":       ds.ApproxBytes(),
+	})
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.registry.List()
+	if infos == nil {
+		infos = []registry.Info{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.registry.Describe(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDatasetDelete evicts a dataset explicitly. A dataset pinned by a
+// running job cannot be deleted; the client gets 409 and may retry after
+// the job finishes.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.registry.Remove(id); {
+	case errors.Is(err, registry.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+	case errors.Is(err, registry.ErrPinned):
+		writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"dataset_ref": id, "deleted": true})
+	}
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
@@ -489,8 +675,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cache": s.cache.Stats(),
-		"jobs":  s.jobs.counts(),
+		"cache":    s.cache.Stats(),
+		"registry": s.registry.Stats(),
+		"jobs":     s.jobs.counts(),
 	})
 }
 
@@ -500,18 +687,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // background under a per-job cancellable context. Jobs wait in
 // StatusQueued for an admission slot, so at most MaxConcurrentJobs run at
 // once regardless of the submission rate; past MaxPendingJobs the request
-// is rejected outright with 429.
-func (s *Server) submit(w http.ResponseWriter, kind string, fn func(context.Context) ([]byte, error)) {
+// is rejected outright with 429. cleanup (nil-able) releases resources the
+// handler acquired for the job — registry pins — and is guaranteed to run
+// exactly once on every path: rejection, cancellation while queued, and
+// normal completion. fn itself may never run (a job cancelled while
+// queued), which is why cleanup cannot live inside it.
+func (s *Server) submit(w http.ResponseWriter, kind string, cleanup func(), fn func(context.Context) ([]byte, error)) {
+	if cleanup == nil {
+		cleanup = func() {}
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := s.jobs.add(kind, cancel, s.opts.MaxPendingJobs)
 	if j == nil {
 		cancel()
+		cleanup()
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error": fmt.Sprintf("server saturated: %d jobs pending", s.opts.MaxPendingJobs),
 		})
 		return
 	}
 	go func() {
+		defer cleanup()
 		defer cancel()
 		select {
 		case s.slots <- struct{}{}:

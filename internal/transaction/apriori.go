@@ -1,6 +1,7 @@
 package transaction
 
 import (
+	"context"
 	"fmt"
 
 	"secreta/internal/dataset"
@@ -24,7 +25,7 @@ func Apriori(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 	cut := hierarchy.NewLeafCut(opts.ItemHierarchy)
 	sw.Mark("setup")
-	gens, err := aprioriOnCut(ds, nil, cut, opts.ItemHierarchy, opts.K, opts.M, nil)
+	gens, err := aprioriOnCut(opts.Ctx, ds, nil, cut, opts.ItemHierarchy, opts.K, opts.M, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -40,8 +41,10 @@ func Apriori(ds *dataset.Dataset, opts Options) (*Result, error) {
 // aprioriOnCut runs the AA repair loop over the records at indices idx (all
 // when nil), mutating cut. When allowed is non-nil, only items whose cut
 // node's leaves are all inside allowed may be generalized (VPA restricts
-// repairs to one vertical part). Returns the number of generalizations.
-func aprioriOnCut(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarchy.Hierarchy, k, m int, allowed map[string]bool) (int, error) {
+// repairs to one vertical part). ctx (nil-able) is polled each repair
+// round and inside the violation scan, so a cancelled run stops within one
+// round. Returns the number of generalizations.
+func aprioriOnCut(ctx context.Context, ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarchy.Hierarchy, k, m int, allowed map[string]bool) (int, error) {
 	gens := 0
 	for size := 1; size <= m; size++ {
 		for {
@@ -49,7 +52,10 @@ func aprioriOnCut(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarc
 			if err != nil {
 				return gens, err
 			}
-			viol := firstViolationOfSize(mapped, k, size)
+			viol, err := firstViolationOfSize(ctx, mapped, k, size)
+			if err != nil {
+				return gens, err
+			}
 			if viol == nil {
 				break
 			}
@@ -142,13 +148,18 @@ func mappedTransactions(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, allo
 }
 
 // firstViolationOfSize returns one k^m violation of exactly the given
-// itemset size, or nil.
-func firstViolationOfSize(transactions [][]string, k, size int) *privacy.Violation {
-	for _, v := range privacy.KMViolations(transactions, k, size, 0) {
+// itemset size, or nil. The scan polls ctx, so a long violation search
+// over a big transaction multiset aborts promptly when cancelled.
+func firstViolationOfSize(ctx context.Context, transactions [][]string, k, size int) (*privacy.Violation, error) {
+	vs, err := privacy.KMViolationsCtx(ctx, transactions, k, size, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vs {
 		if len(v.Itemset) == size {
 			v := v
-			return &v
+			return &v, nil
 		}
 	}
-	return nil
+	return nil, nil
 }

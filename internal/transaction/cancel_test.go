@@ -1,0 +1,121 @@
+package transaction
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"secreta/internal/dataset"
+	"secreta/internal/gen"
+	"secreta/internal/policy"
+)
+
+// randomBaskets builds an adversarial transaction-only dataset: uniform
+// random baskets, so every size-2 itemset is rare and Apriori needs many
+// repair rounds. Unlike the Zipf-skewed Census generator, this keeps the
+// algorithm busy for seconds — long enough to cancel mid-run.
+func randomBaskets(t testing.TB, records, domain, basket int, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New(nil, "items")
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < records; r++ {
+		seen := make(map[int]bool, basket)
+		var items []string
+		for len(items) < basket {
+			it := rng.Intn(domain)
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, fmt.Sprintf("i%04d", it))
+			}
+		}
+		if err := ds.AddRecord(dataset.Record{Items: items}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestAprioriCancellationPromptness pins the service's cancellation
+// budget: cancelling a multi-second Apriori run mid-algorithm must return
+// within 250ms (the checks sit in the repair loop and inside the k^m
+// violation scan). Without Options.Ctx the same run takes ~8s.
+func TestAprioriCancellationPromptness(t *testing.T) {
+	ds := randomBaskets(t, 4000, 200, 12, 11)
+	ih, err := gen.ItemHierarchy(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		err error
+		at  time.Time
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := Apriori(ds, Options{Ctx: ctx, K: 40, M: 2, ItemHierarchy: ih})
+		done <- outcome{err: err, at: time.Now()}
+	}()
+	// Let the run get well into its repair rounds, then pull the plug.
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	cancelledAt := time.Now()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("Apriori returned %v, want context.Canceled (did the run finish before the cancel?)", o.err)
+		}
+		if d := o.at.Sub(cancelledAt); d > 250*time.Millisecond {
+			t.Errorf("cancellation took %v, want <= 250ms", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Apriori did not return within 10s of cancellation")
+	}
+}
+
+// TestCancelledContextAbortsEveryAlgorithm runs each transaction algorithm
+// with an already-cancelled context on data that needs work, and expects
+// the context error back instead of a completed result.
+func TestCancelledContextAbortsEveryAlgorithm(t *testing.T) {
+	ds, ih := transData(t, 300, 40, 9)
+	pol := &policy.Policy{
+		Privacy: policy.PrivacyFrequent(ds, 1, 2),
+		Utility: policy.UtilityTop(ds),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs := map[string]func() error{
+		"apriori": func() error {
+			_, err := Apriori(ds, Options{Ctx: ctx, K: 10, M: 2, ItemHierarchy: ih})
+			return err
+		},
+		"lra": func() error {
+			_, err := LRA(ds, Options{Ctx: ctx, K: 10, M: 2, ItemHierarchy: ih})
+			return err
+		},
+		"vpa": func() error {
+			_, err := VPA(ds, Options{Ctx: ctx, K: 10, M: 2, ItemHierarchy: ih})
+			return err
+		},
+		"coat": func() error {
+			_, err := COAT(ds, Options{Ctx: ctx, K: 10, Policy: pol})
+			return err
+		},
+		"pcta": func() error {
+			_, err := PCTA(ds, Options{Ctx: ctx, K: 10, Policy: pol})
+			return err
+		},
+		"rho": func() error {
+			_, err := RhoUncertainty(ds, Options{Ctx: ctx, Rho: 0.05, M: 1, Sensitive: []string{gen.ItemName(0)}})
+			return err
+		},
+	}
+	for name, run := range runs {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled context returned %v, want context.Canceled", name, err)
+		}
+	}
+}

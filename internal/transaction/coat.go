@@ -33,6 +33,11 @@ func COAT(ds *dataset.Dataset, opts Options) (*Result, error) {
 	for ci := range opts.Policy.Privacy {
 		c := opts.Policy.Privacy[ci]
 		for {
+			// Each protection step rebuilds the published sets (O(dataset));
+			// polling here bounds cancellation delay to one step.
+			if err := opts.interrupted(); err != nil {
+				return nil, err
+			}
 			published := publishedSets(ds, groups)
 			sup, protected := constraintSupport(published, groups, c)
 			if protected || sup == 0 || sup >= opts.K {

@@ -49,6 +49,9 @@ func LRA(ds *dataset.Dataset, opts Options) (*Result, error) {
 	anon := ds.Clone()
 	gens := 0
 	for p := 0; p < parts; p++ {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		lo := p * n / parts
 		hi := (p + 1) * n / parts
 		if lo >= hi {
@@ -56,7 +59,7 @@ func LRA(ds *dataset.Dataset, opts Options) (*Result, error) {
 		}
 		partIdx := idx[lo:hi]
 		cut := hierarchy.NewLeafCut(opts.ItemHierarchy)
-		g, err := aprioriOnCut(ds, partIdx, cut, opts.ItemHierarchy, opts.K, opts.M, nil)
+		g, err := aprioriOnCut(opts.Ctx, ds, partIdx, cut, opts.ItemHierarchy, opts.K, opts.M, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -31,6 +31,9 @@ func PCTA(ds *dataset.Dataset, opts Options) (*Result, error) {
 
 	gens := 0
 	for {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		published := publishedSets(ds, groups)
 		// Find the most violated constraint.
 		worst := -1

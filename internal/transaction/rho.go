@@ -47,6 +47,9 @@ func RhoUncertainty(ds *dataset.Dataset, opts Options) (*Result, error) {
 	sw.Mark("setup")
 
 	for iter := 0; ; iter++ {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		if iter > 10*len(ds.ItemDomain())+10 {
 			return nil, fmt.Errorf("transaction: rho-uncertainty did not converge")
 		}

@@ -8,6 +8,7 @@
 package transaction
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,11 @@ import (
 
 // Options configures a transaction algorithm run.
 type Options struct {
+	// Ctx, when non-nil, is polled inside the algorithm's repair loops
+	// (Apriori rounds, COAT/PCTA merge steps, rho suppression rounds);
+	// once cancelled the run aborts promptly with the context's error.
+	// Nil means the run cannot be cancelled.
+	Ctx context.Context
 	// K is the anonymity parameter.
 	K int
 	// M is the maximum adversary itemset size for k^m-anonymity
@@ -93,6 +99,16 @@ func (o *Options) validatePolicy(ds *dataset.Dataset, needUtility bool) error {
 		return fmt.Errorf("transaction: utility policy required")
 	}
 	return o.Policy.Validate()
+}
+
+// interrupted returns the options context's error, nil when no context
+// was supplied. Algorithms poll it at the top of their repair loops so
+// cancellation takes effect mid-run with bounded delay.
+func (o *Options) interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // labelFor builds a deterministic label for a merged item group.

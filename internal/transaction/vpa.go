@@ -50,9 +50,14 @@ func VPA(ds *dataset.Dataset, opts Options) (*Result, error) {
 				allowed[leaf] = true
 			}
 		}
-		g, err := aprioriOnCut(ds, nil, cut, h, opts.K, opts.M, allowed)
+		g, err := aprioriOnCut(opts.Ctx, ds, nil, cut, h, opts.K, opts.M, allowed)
 		gens += g
 		if err != nil {
+			// Distinguish "cancelled" from "this part is infeasible": only
+			// the latter may be deferred to the verification pass.
+			if cerr := opts.interrupted(); cerr != nil {
+				return nil, cerr
+			}
 			// The part cannot be repaired inside its own subtrees (e.g.
 			// a whole subtree is rarer than k). Leave it to the global
 			// verification pass, which may generalize across parts.
@@ -62,7 +67,7 @@ func VPA(ds *dataset.Dataset, opts Options) (*Result, error) {
 	sw.Mark("anonymize parts")
 
 	// Verification: repair cross-part violations globally.
-	g, err := aprioriOnCut(ds, nil, cut, h, opts.K, opts.M, nil)
+	g, err := aprioriOnCut(opts.Ctx, ds, nil, cut, h, opts.K, opts.M, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# docs_freshness.sh — fail when an HTTP route exported by internal/server
+# is not documented in docs/API.md. Run from the repository root; CI runs
+# it on every push so the endpoint reference cannot silently drift from
+# the code.
+set -eu
+
+server_src="internal/server/server.go"
+api_doc="docs/API.md"
+
+# `|| true` keeps set -e from aborting on grep's no-match exit before the
+# diagnostic below can fire.
+routes=$(grep -oE 'HandleFunc\("[A-Z]+ [^"]+"' "$server_src" | sed -E 's/HandleFunc\("([A-Z]+) ([^"]+)"/\1 \2/' || true)
+if [ -z "$routes" ]; then
+    echo "docs_freshness: no routes found in $server_src (pattern drift?)" >&2
+    exit 1
+fi
+
+missing=0
+while IFS= read -r route; do
+    method=${route%% *}
+    path=${route#* }
+    # A route is documented when its path literal appears in the API doc
+    # (ServeMux {id} wildcards included, so the doc must spell the real
+    # pattern, not a prose paraphrase).
+    if ! grep -qF "$path" "$api_doc"; then
+        echo "docs_freshness: $method $path is served but not mentioned in $api_doc" >&2
+        missing=1
+    fi
+done <<EOF
+$routes
+EOF
+
+if [ "$missing" -ne 0 ]; then
+    echo "docs_freshness: update $api_doc to cover every route." >&2
+    exit 1
+fi
+echo "docs_freshness: all $(printf '%s\n' "$routes" | wc -l | tr -d ' ') routes documented."
