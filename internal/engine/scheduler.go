@@ -135,7 +135,7 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 	}
 	key := dsKey + "/" + cfg.cacheKey(memo)
 	for {
-		if r, ok := s.cache.get(key); ok {
+		if r, ok := s.cache.lookup(key, cfg); ok {
 			// The cached Result carries the first submitter's Config
 			// (Label, pointer identities); answer with the caller's so
 			// labels aren't misattributed across requests.
@@ -146,12 +146,24 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 		leader, fl := s.cache.claim(key)
 		if leader {
 			r := func() *Result {
-				var published *Result
-				defer func() { s.cache.release(key, published) }()
+				released := false
+				releaseOnce := func(published *Result) {
+					if !released {
+						released = true
+						s.cache.release(key, published)
+					}
+				}
+				// Panic safety: a flight must never be left unreleased.
+				defer func() { releaseOnce(nil) }()
 				r := RunCtx(ctx, ds, cfg)
 				if r.Err == nil {
 					s.cache.put(key, r)
-					published = r
+					// Wake the waiters before the (fsync'd) disk spill:
+					// N-1 duplicates must not stall behind persistence.
+					// The leader alone pays the write — that is what
+					// durability costs one writer.
+					releaseOnce(r)
+					s.cache.spill(key, r)
 				}
 				return r
 			}()
@@ -269,8 +281,12 @@ func (c *Config) cacheKey(memo *inputHasher) string {
 // caps; Evictions counts entries dropped to stay within them and Rejected
 // counts results too large to ever fit the byte cap.
 type CacheStats struct {
-	Hits       uint64 `json:"hits"`
-	Misses     uint64 `json:"misses"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// DiskHits are hits served by rehydrating a persisted entry after a
+	// RAM miss; DiskErrors count backing failures (degraded, not fatal).
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskErrors uint64 `json:"disk_errors"`
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
 	MaxEntries int    `json:"max_entries"`
@@ -296,10 +312,16 @@ const (
 // copied; callers must treat them as immutable.
 type Cache struct {
 	lru     *registry.LRU
-	mu      sync.Mutex // guards flights and the hit/miss counters
+	mu      sync.Mutex // guards flights, backing and the counters
 	flights map[string]*flight
+	backing CacheBacking // nil: RAM-only
 	hits    uint64
 	misses  uint64
+	// diskHits counts lookups served by rehydrating a persisted entry
+	// (a subset of hits); diskErrors counts backing failures, which
+	// degrade to misses/unsaved entries rather than failing the run.
+	diskHits   uint64
+	diskErrors uint64
 }
 
 // flight is one in-progress computation. done is closed when the leader
@@ -329,13 +351,46 @@ func NewCacheSized(maxEntries int, maxBytes int64) *Cache {
 	}
 }
 
-func (c *Cache) get(key string) (*Result, bool) {
-	v, ok := c.lru.Get(key)
-	if !ok {
+// lookup answers key from RAM or, failing that, from the durable
+// backing: a persisted entry is decoded (the caller's cfg is content-
+// equal to the producer's, so it is re-attached), promoted into the RAM
+// LRU, and counted as a hit. Backing errors degrade to a miss.
+func (c *Cache) lookup(key string, cfg Config) (*Result, bool) {
+	if v, ok := c.lru.Get(key); ok {
+		c.countHit()
+		return v.(*Result), true
+	}
+	c.mu.Lock()
+	b := c.backing
+	c.mu.Unlock()
+	if b == nil {
 		return nil, false
 	}
-	c.countHit()
-	return v.(*Result), true
+	data, err := b.LoadResult(key)
+	if err != nil {
+		c.countDiskError()
+		return nil, false
+	}
+	if data == nil {
+		return nil, false
+	}
+	r, err := decodeResult(data, cfg)
+	if err != nil {
+		c.countDiskError()
+		return nil, false
+	}
+	c.lru.Put(key, r, resultCost(r))
+	c.mu.Lock()
+	c.hits++
+	c.diskHits++
+	c.mu.Unlock()
+	return r, true
+}
+
+func (c *Cache) countDiskError() {
+	c.mu.Lock()
+	c.diskErrors++
+	c.mu.Unlock()
 }
 
 // countHit records a cache-backed answer that skipped computation —
@@ -373,8 +428,29 @@ func (c *Cache) release(key string, r *Result) {
 	}
 }
 
+// put inserts into the RAM LRU only; callers spill separately, after
+// releasing any single-flight waiters.
 func (c *Cache) put(key string, r *Result) {
 	c.lru.Put(key, r, resultCost(r))
+}
+
+// spill writes the entry through to the durable backing. A failure here
+// only costs post-restart reuse; the RAM entry and the job's own result
+// are unaffected.
+func (c *Cache) spill(key string, r *Result) {
+	c.mu.Lock()
+	b := c.backing
+	c.mu.Unlock()
+	if b == nil {
+		return
+	}
+	data, err := encodeResult(r)
+	if err == nil {
+		err = b.SaveResult(key, data)
+	}
+	if err != nil {
+		c.countDiskError()
+	}
 }
 
 // resultCost approximates a cached Result's resident size for the byte
@@ -398,6 +474,8 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits:       c.hits,
 		Misses:     c.misses,
+		DiskHits:   c.diskHits,
+		DiskErrors: c.diskErrors,
 		Entries:    ls.Entries,
 		Bytes:      ls.Bytes,
 		MaxEntries: ls.MaxEntries,

@@ -2,26 +2,48 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"secreta/internal/store"
 )
 
 // Status is a job's lifecycle state.
 type Status string
 
 const (
-	StatusQueued    Status = "queued"
-	StatusRunning   Status = "running"
+	StatusQueued Status = "queued"
+	// StatusRunning is defined from the journal's constant: replaying a
+	// "start" op moves the durable record to this exact string.
+	StatusRunning   Status = store.StatusRunning
 	StatusDone      Status = "done"
 	StatusFailed    Status = "failed"
 	StatusCancelled Status = "cancelled"
+	// StatusTimedOut marks a job stopped by the server's or the request's
+	// deadline — journaled like any other terminal state, and distinct
+	// from StatusCancelled so "the operator's budget expired" is never
+	// mistaken for "the client asked to stop".
+	StatusTimedOut Status = "timed_out"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled || s == StatusTimedOut
+}
+
+// validListState reports whether s can appear in a GET /jobs state filter.
+func validListState(s Status) bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled, StatusTimedOut:
+		return true
+	}
+	return false
 }
 
 // JobView is the JSON shape of a job's status report.
@@ -34,24 +56,43 @@ type JobView struct {
 	StartedAt   string  `json:"started_at,omitempty"`
 	FinishedAt  string  `json:"finished_at,omitempty"`
 	DurationSec float64 `json:"duration_s,omitempty"`
+	// Recovered marks a job restored from the journal after a restart —
+	// either rehydrated terminal state or a re-queued in-flight job.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // job is one asynchronous anonymization request being tracked by the
 // store. The run goroutine owns result/err; everything else is guarded by
 // mu.
 type job struct {
-	id     string
-	seq    int // numeric submission order; IDs are for display, seq for eviction
-	kind   string
-	cancel context.CancelFunc
+	id        string
+	seq       int // numeric submission order; IDs are for display, seq for eviction
+	kind      string
+	cancel    context.CancelFunc
+	js        *jobStore
+	recovered bool
 
 	mu        sync.Mutex
 	status    Status
 	err       string
 	result    []byte // JSON payload, valid once status == StatusDone
+	load      func() ([]byte, error)
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	// clientCancel marks a DELETE-initiated cancellation, so it is
+	// journaled terminally even when it races process shutdown (a
+	// shutdown-driven cancel is deliberately left un-finalized and
+	// re-queued; an explicit client cancel must stay cancelled).
+	clientCancel bool
+}
+
+// requestCancel marks the cancellation as client-initiated and fires it.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	j.clientCancel = true
+	j.mu.Unlock()
+	j.cancel()
 }
 
 func (j *job) view() JobView {
@@ -63,6 +104,7 @@ func (j *job) view() JobView {
 		Status:      j.status,
 		Error:       j.err,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		Recovered:   j.recovered,
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -79,22 +121,39 @@ func (j *job) view() JobView {
 
 func (j *job) start() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.status == StatusQueued {
-		j.status = StatusRunning
-		j.started = time.Now()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return
 	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.js.journal(func(jl *store.Journal) error { return jl.Start(j.id) })
 }
 
-// finish records the run outcome. A context error after cancellation maps
-// to StatusCancelled so pollers can tell "stopped by request" from
-// "failed".
-func (j *job) finish(payload []byte, err error, cancelled bool) {
+// finish records the run outcome. ctxErr is the job context's error at
+// completion: deadline expiry maps to StatusTimedOut, any other context
+// error to StatusCancelled, so pollers can tell "stopped by budget" from
+// "stopped by request" from "failed". hasResult records that the payload
+// was durably persisted before this transition became observable.
+func (j *job) finish(payload []byte, err error, ctxErr error, hasResult bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.finished = time.Now()
 	switch {
-	case cancelled:
+	case err == nil && payload != nil:
+		// A payload with no error is completed work, even if the context
+		// expired in the instant between fn returning and this check — a
+		// job that beat its deadline must not be reported timed_out.
+		j.status = StatusDone
+		j.result = payload
+	case errors.Is(ctxErr, context.DeadlineExceeded):
+		j.status = StatusTimedOut
+		j.err = fmt.Sprintf("job exceeded its deadline: %v", ctxErr)
+	case ctxErr != nil:
 		j.status = StatusCancelled
 		if err != nil {
 			j.err = err.Error()
@@ -106,35 +165,122 @@ func (j *job) finish(payload []byte, err error, cancelled bool) {
 		j.status = StatusDone
 		j.result = payload
 	}
+	status, errMsg, byClient := j.status, j.err, j.clientCancel
+	j.mu.Unlock()
+	// A cancellation caused by process shutdown is deliberately NOT
+	// journaled: the durable record stays in-flight, so the next boot
+	// re-queues the job — a graceful restart and a crash converge on the
+	// same "interrupted work is re-run" outcome instead of racing the
+	// journal's close to decide between "cancelled forever" and
+	// "re-queued". Client cancellations (DELETE) journal normally, even
+	// when they race shutdown — explicitly stopped work must stay
+	// stopped.
+	if status == StatusCancelled && !byClient && j.js.isShuttingDown() {
+		return
+	}
+	j.js.journal(func(jl *store.Journal) error {
+		return jl.Finish(j.id, string(status), errMsg, hasResult)
+	})
 }
 
+// snapshot returns the job's terminal view, lazily rehydrating a result
+// that is still on disk after a restart. A load failure demotes the job
+// to failed in memory — the status endpoints must agree with the result
+// endpoint, not keep claiming done for a result that is gone. The
+// durable record is left untouched: the next boot retries the load.
 func (j *job) snapshot() (Status, []byte, string) {
 	j.mu.Lock()
+	if j.status != StatusDone || j.result != nil || j.load == nil {
+		defer j.mu.Unlock()
+		return j.status, j.result, j.err
+	}
+	load := j.load
+	j.mu.Unlock()
+	// The blob read happens off-lock so a slow disk cannot stall view()
+	// (and with it every job listing). Concurrent snapshots may both
+	// read the blob; the double read is benign and last-writer-wins on
+	// identical bytes.
+	payload, err := load()
+	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return j.status, j.result, j.err
+	}
+	if err != nil {
+		j.status = StatusFailed
+		j.err = fmt.Sprintf("result lost: %v", err)
+		j.load = nil
+		return j.status, nil, j.err
+	}
+	if j.result == nil {
+		j.result = payload
+	}
 	return j.status, j.result, j.err
 }
 
 // jobStore issues sequential job IDs and tracks jobs, evicting the oldest
 // finished jobs (results included) once the population exceeds max — a
-// long-lived server must not grow without bound.
+// long-lived server must not grow without bound. With a journal attached,
+// every transition is WAL-logged and evictions delete the durable record
+// and result blob too.
 type jobStore struct {
 	mu   sync.Mutex
 	seq  int
 	max  int
 	jobs map[string]*job
+
+	jl      *store.Journal // nil: memory-only
+	results *store.BlobDir // nil: memory-only
+	// shuttingDown reports whether the server's base context is done —
+	// shutdown-driven cancellations are left un-finalized in the journal
+	// so the next boot re-queues them (see job.finish).
+	shuttingDown func() bool
+}
+
+// isShuttingDown is nil-safe for memory-only stores and tests.
+func (s *jobStore) isShuttingDown() bool {
+	return s.shuttingDown != nil && s.shuttingDown()
 }
 
 func newJobStore(max int) *jobStore {
 	return &jobStore{max: max, jobs: make(map[string]*job)}
 }
 
-// add registers a new job, atomically rejecting it (nil) when the number
-// of non-terminal jobs has reached maxPending — the check happens under
-// the store lock so concurrent submissions cannot overshoot the cap.
-func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int) *job {
+// attachStore wires the journal and result-blob directory in and aligns
+// the ID sequence past everything the journal has seen, so recovered and
+// new jobs never collide. Must be called before the store takes traffic.
+func (s *jobStore) attachStore(jl *store.Journal, results *store.BlobDir) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.jl = jl
+	s.results = results
+	if seq := jl.Seq(); seq > s.seq {
+		s.seq = seq
+	}
+}
+
+// journal runs fn against the attached journal. Journal failures are
+// logged, not propagated: the in-memory state has already transitioned,
+// and refusing service because the WAL hiccupped would turn a durability
+// bug into an availability one. (The record is then simply absent on
+// replay — the same outcome as crashing a moment earlier.)
+func (s *jobStore) journal(fn func(*store.Journal) error) {
+	if s.jl == nil {
+		return
+	}
+	if err := fn(s.jl); err != nil {
+		log.Printf("secreta-serve: journal append failed: %v", err)
+	}
+}
+
+// add registers a new job, atomically rejecting it (nil) when the number
+// of non-terminal jobs has reached maxPending — the check happens under
+// the store lock so concurrent submissions cannot overshoot the cap. body
+// and datasetRef are journaled so a crash can re-queue the job.
+func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int, body []byte, datasetRef string) *job {
+	s.mu.Lock()
 	if maxPending > 0 && s.pendingLocked() >= maxPending {
+		s.mu.Unlock()
 		return nil
 	}
 	s.seq++
@@ -143,19 +289,81 @@ func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int) *
 		seq:       s.seq,
 		kind:      kind,
 		cancel:    cancel,
+		js:        s,
 		status:    StatusQueued,
 		submitted: time.Now(),
 	}
 	s.jobs[j.id] = j
-	s.evictLocked()
+	evicted := s.evictLocked()
+	s.mu.Unlock()
+	// The fsync'd appends happen outside the lock so job-API reads never
+	// stall behind disk I/O. Per-job WAL ordering still holds: the Submit
+	// record is durable before add returns, and the caller only starts
+	// the job (Start/Finish records) after that.
+	s.journal(func(jl *store.Journal) error {
+		return jl.Submit(store.JobRecord{
+			ID: j.id, Seq: j.seq, Kind: kind, Status: string(StatusQueued),
+			DatasetRef: datasetRef, Body: body, SubmittedAt: j.submitted,
+		})
+	})
+	s.dropDurable(evicted)
 	return j
 }
 
-// evictLocked drops the oldest terminal jobs until the store fits max.
+// restore re-inserts a job from its journal record during recovery: a
+// terminal job keeps its status (and lazily loads its result through
+// load); an in-flight one comes back as queued, to be re-run by the
+// caller. Restore does not journal — the record already exists.
+func (s *jobStore) restore(rec store.JobRecord, load func() ([]byte, error), cancel context.CancelFunc) *job {
+	status := Status(rec.Status)
+	j := &job{
+		id:        rec.ID,
+		seq:       rec.Seq,
+		kind:      rec.Kind,
+		cancel:    cancel,
+		js:        s,
+		recovered: true,
+		status:    status,
+		err:       rec.Error,
+		load:      load,
+		submitted: rec.SubmittedAt,
+	}
+	if status.Terminal() {
+		j.started = rec.StartedAt
+		j.finished = rec.FinishedAt
+	} else {
+		j.status = StatusQueued
+	}
+	s.mu.Lock()
+	if rec.Seq > s.seq {
+		s.seq = rec.Seq
+	}
+	s.jobs[j.id] = j
+	evicted := s.evictLocked()
+	s.mu.Unlock()
+	s.dropDurable(evicted)
+	return j
+}
+
+// dropDurable erases journal records and persisted results. Callers
+// invoke it outside s.mu — it fsyncs.
+func (s *jobStore) dropDurable(ids []string) {
+	for _, id := range ids {
+		s.journal(func(jl *store.Journal) error { return jl.Delete(id) })
+		if s.results != nil {
+			if err := s.results.Delete(id); err != nil {
+				log.Printf("secreta-serve: deleting result blob %s: %v", id, err)
+			}
+		}
+	}
+}
+
+// evictLocked drops the oldest terminal jobs until the store fits max and
+// returns their IDs for durable cleanup (done by the caller, off-lock).
 // Queued and running jobs are never evicted.
-func (s *jobStore) evictLocked() {
+func (s *jobStore) evictLocked() []string {
 	if s.max <= 0 || len(s.jobs) <= s.max {
-		return
+		return nil
 	}
 	var terminal []*job
 	for _, j := range s.jobs {
@@ -169,22 +377,27 @@ func (s *jobStore) evictLocked() {
 	// Oldest first by numeric submission order — IDs are zero-padded for
 	// display and would misorder lexicographically past the padding width.
 	sort.Slice(terminal, func(a, b int) bool { return terminal[a].seq < terminal[b].seq })
+	var evicted []string
 	for _, j := range terminal {
 		if len(s.jobs) <= s.max {
-			return
+			break
 		}
 		delete(s.jobs, j.id)
+		evicted = append(evicted, j.id)
 	}
+	return evicted
 }
 
 // remove deletes a job record outright; it reports whether id existed.
 func (s *jobStore) remove(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.jobs[id]; !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.jobs, id)
+	s.mu.Unlock()
+	s.dropDurable([]string{id})
 	return true
 }
 
@@ -194,7 +407,16 @@ func (s *jobStore) get(id string) *job {
 	return s.jobs[id]
 }
 
-func (s *jobStore) list() []JobView {
+// jobQuery filters and paginates a job listing.
+type jobQuery struct {
+	state    Status // "" matches every state
+	afterSeq int    // only jobs submitted after this sequence number
+	limit    int    // <= 0: unlimited
+}
+
+// list returns the matching jobs in submission order (paginated by the
+// query) and the total number of matches before pagination.
+func (s *jobStore) list(q jobQuery) (views []JobView, total int) {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -202,11 +424,38 @@ func (s *jobStore) list() []JobView {
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
-	out := make([]JobView, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.view()
+	views = []JobView{}
+	for _, j := range jobs {
+		v := j.view()
+		if q.state != "" && v.Status != q.state {
+			continue
+		}
+		total++
+		if j.seq <= q.afterSeq {
+			continue
+		}
+		if q.limit > 0 && len(views) >= q.limit {
+			continue
+		}
+		views = append(views, v)
 	}
-	return out
+	return views, total
+}
+
+// parseJobSeq derives a job's sequence number from its ID ("j-%06d").
+// The `after` list cursor uses this instead of a table lookup so a
+// cursor job that has since been evicted or deleted keeps working —
+// tail-polling must not wedge because the poller fell behind retention.
+func parseJobSeq(id string) (int, error) {
+	num, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0, fmt.Errorf("malformed job ID %q", id)
+	}
+	seq, err := strconv.Atoi(num)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("malformed job ID %q", id)
+	}
+	return seq, nil
 }
 
 // pendingLocked counts jobs that have not reached a terminal status; the

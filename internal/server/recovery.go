@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"secreta/internal/dataset"
+	"secreta/internal/registry"
+	"secreta/internal/store"
+)
+
+// datasetBacking adapts the store's dataset blob directory to the
+// registry's Backing interface (the registry must not depend on the store
+// package).
+type datasetBacking struct{ ds *store.DatasetStore }
+
+func (b datasetBacking) Save(id string, d *dataset.Dataset) error { return b.ds.Save(id, d) }
+func (b datasetBacking) Load(id string) (*dataset.Dataset, error) { return b.ds.Load(id) }
+func (b datasetBacking) Delete(id string) error                   { return b.ds.Delete(id) }
+func (b datasetBacking) List() ([]registry.BackedDataset, error) {
+	metas, err := b.ds.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]registry.BackedDataset, len(metas))
+	for i, m := range metas {
+		out[i] = registry.BackedDataset{ID: m.ID, Attrs: m.Attrs, Records: m.Records, Bytes: m.Bytes}
+	}
+	return out, nil
+}
+
+// recoveryInfo summarizes the boot-time replay for GET /stats.
+type recoveryInfo struct {
+	// Done flips once the server went ready; the other fields are final
+	// from then on.
+	Done bool `json:"done"`
+	// DurationSec is the job-table replay time (the dataset index and
+	// journal repair happen before the server exists and are not
+	// included).
+	DurationSec float64 `json:"duration_s"`
+	// RestoredJobs counts terminal jobs rehydrated with their status (and
+	// lazily loadable results); RequeuedJobs counts jobs that were in
+	// flight at crash time and run again; FailedRequeues counts in-flight
+	// jobs whose journaled request no longer prepares (e.g. its dataset
+	// was deleted) — those come back as failed, not lost.
+	RestoredJobs   int `json:"restored_jobs"`
+	RequeuedJobs   int `json:"requeued_jobs"`
+	FailedRequeues int `json:"failed_requeues"`
+}
+
+// recover rebuilds the job table from the journal and re-queues work that
+// was in flight when the last process died. It runs once, in the
+// background, while the readiness gate holds traffic (only /healthz
+// answers); jobs are restored in submission order so re-queued work
+// re-enters the admission queue in its original sequence.
+func (s *Server) recover() {
+	start := time.Now()
+	var info recoveryInfo
+	for _, rec := range s.st.Journal.Jobs() {
+		if Status(rec.Status).Terminal() {
+			var load func() ([]byte, error)
+			switch {
+			case rec.HasResult:
+				id := rec.ID
+				load = func() ([]byte, error) { return s.st.Results.Get(id) }
+			case Status(rec.Status) == StatusDone:
+				// Journaled done but the result blob write failed before
+				// the crash: the result endpoint must say so, not answer
+				// an empty 200.
+				load = func() ([]byte, error) {
+					return nil, fmt.Errorf("result blob was never persisted")
+				}
+			}
+			s.jobs.restore(rec, load, nil)
+			info.RestoredJobs++
+			continue
+		}
+		// In flight at crash time: re-queue under a fresh context. The
+		// journaled body goes through the same preparation as a live
+		// submission — re-validating and, crucially, re-pinning its
+		// dataset_ref (the dataset itself came back with the registry
+		// index, so the pin loads it from disk on demand).
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j := s.jobs.restore(rec, nil, cancel)
+		p, err := s.prepareJob(rec.Kind, rec.Body)
+		if err != nil {
+			cancel()
+			j.finish(nil, fmt.Errorf("re-queueing after restart: %w", err), nil, false)
+			info.FailedRequeues++
+			continue
+		}
+		info.RequeuedJobs++
+		go s.runJob(ctx, cancel, j, p)
+	}
+	info.DurationSec = time.Since(start).Seconds()
+	info.Done = true
+	s.recMu.Lock()
+	s.recovery = info
+	s.recMu.Unlock()
+	s.ready.Store(true)
+	js := s.st.Journal.Stats()
+	log.Printf("secreta-serve: recovery complete in %.3fs: %d jobs restored, %d re-queued, %d failed to re-queue (replayed %d snapshot jobs + %d WAL records, torn tail: %v)",
+		info.DurationSec, info.RestoredJobs, info.RequeuedJobs, info.FailedRequeues,
+		js.Replay.SnapshotJobs, js.Replay.WALRecords, js.Replay.TornTail)
+}

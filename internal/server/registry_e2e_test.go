@@ -157,7 +157,7 @@ func slowBasketsJSON(t *testing.T) json.RawMessage {
 // mid-algorithm; and once the job is finished the pin is released, so the
 // delete succeeds.
 func TestPinnedDatasetSurvivesJobLifecycle(t *testing.T) {
-	ts := httptest.NewServer(New(context.Background(), Options{Workers: 2, MaxConcurrentJobs: 1}).Handler())
+	ts := httptest.NewServer(mustNew(t, context.Background(), Options{Workers: 2, MaxConcurrentJobs: 1}).Handler())
 	t.Cleanup(ts.Close)
 
 	code, body := uploadDataset(t, ts.URL, slowBasketsJSON(t))

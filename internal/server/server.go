@@ -13,6 +13,15 @@
 // re-sending the rows. Referenced datasets are pinned for the lifetime of
 // each job that uses them, so registry eviction (LRU under entry/byte caps)
 // can never pull a dataset out from under a running job.
+//
+// With Options.Store set, the server is durable: datasets spill to a
+// content-addressed blob store (the registry becomes a pin-aware RAM cache
+// over disk), every job lifecycle transition is appended to a checksummed
+// write-ahead log, terminal results and cache entries persist as blobs,
+// and a restart replays snapshot+WAL — rehydrating the dataset index and
+// finished jobs, and re-queueing jobs that were in flight when the process
+// died. Until replay completes, /healthz reports ready:false and every
+// other endpoint answers 503.
 package server
 
 import (
@@ -21,8 +30,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"secreta/internal/dataset"
 	"secreta/internal/engine"
@@ -33,6 +48,7 @@ import (
 	"secreta/internal/hierarchy"
 	"secreta/internal/query"
 	"secreta/internal/registry"
+	"secreta/internal/store"
 )
 
 // Options configures a Server.
@@ -59,8 +75,18 @@ type Options struct {
 	// (0: defaults — 64 datasets / 1 GiB; negative: unbounded). Pinned
 	// datasets (in use by running jobs) are never evicted, so the caps can
 	// be transiently exceeded while every resident dataset is in use.
+	// With a Store, these bound only the RAM cache — the durable
+	// population on disk is unbounded.
 	RegistryMaxDatasets int
 	RegistryMaxBytes    int64
+	// JobTimeout is the default deadline for a job's execution (queue
+	// wait excluded) and the ceiling for per-request timeout_ms; 0
+	// disables both. Expired jobs end in StatusTimedOut.
+	JobTimeout time.Duration
+	// Store, when non-nil, makes the server durable (see the package
+	// comment). The caller owns the store's lifecycle and must Close it
+	// after the server's context is cancelled and jobs have drained.
+	Store *store.Store
 }
 
 // Registry defaults: generous enough for interactive use, bounded enough
@@ -83,7 +109,13 @@ type Server struct {
 	uncached *engine.Scheduler
 	cache    *engine.Cache
 	registry *registry.Registry
+	st       *store.Store // nil: memory-only
 	baseCtx  context.Context
+	// ready gates traffic: false while WAL replay re-populates the job
+	// table. Memory-only servers are born ready.
+	ready    atomic.Bool
+	recMu    sync.Mutex
+	recovery recoveryInfo
 	// slots is the admission semaphore: a job must hold a slot to run.
 	slots chan struct{}
 	// uploadSlots bounds concurrent POST /datasets decodes. Uploads don't
@@ -106,8 +138,11 @@ func capOrDefault[T int | int64](v, def T) T {
 }
 
 // New builds a server whose jobs are children of ctx: cancelling it (e.g.
-// on process shutdown) cancels every in-flight job.
-func New(ctx context.Context, opts Options) *Server {
+// on process shutdown) cancels every in-flight job. With Options.Store
+// set, New wires the durable layers and starts journal replay in the
+// background; the server answers 503 (except /healthz) until it
+// completes.
+func New(ctx context.Context, opts Options) (*Server, error) {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 32 << 20
 	}
@@ -124,17 +159,28 @@ func New(ctx context.Context, opts Options) *Server {
 		capOrDefault(opts.CacheMaxEntries, engine.DefaultCacheEntries),
 		capOrDefault(opts.CacheMaxBytes, int64(engine.DefaultCacheBytes)),
 	)
+	regEntries := capOrDefault(opts.RegistryMaxDatasets, DefaultRegistryDatasets)
+	regBytes := capOrDefault(opts.RegistryMaxBytes, int64(DefaultRegistryBytes))
+	var reg *registry.Registry
+	if opts.Store != nil {
+		cache.SetBacking(opts.Store.Cache)
+		var err error
+		reg, err = registry.NewBacked(regEntries, regBytes, datasetBacking{opts.Store.Datasets})
+		if err != nil {
+			return nil, fmt.Errorf("server: rehydrating dataset registry: %w", err)
+		}
+	} else {
+		reg = registry.New(regEntries, regBytes)
+	}
 	s := &Server{
-		opts:     opts,
-		mux:      http.NewServeMux(),
-		jobs:     newJobStore(opts.MaxJobs),
-		sched:    engine.NewScheduler(opts.Workers, cache),
-		uncached: engine.NewScheduler(opts.Workers, nil),
-		cache:    cache,
-		registry: registry.New(
-			capOrDefault(opts.RegistryMaxDatasets, DefaultRegistryDatasets),
-			capOrDefault(opts.RegistryMaxBytes, int64(DefaultRegistryBytes)),
-		),
+		opts:        opts,
+		mux:         http.NewServeMux(),
+		jobs:        newJobStore(opts.MaxJobs),
+		sched:       engine.NewScheduler(opts.Workers, cache),
+		uncached:    engine.NewScheduler(opts.Workers, nil),
+		cache:       cache,
+		registry:    reg,
+		st:          opts.Store,
 		baseCtx:     ctx,
 		slots:       make(chan struct{}, opts.MaxConcurrentJobs),
 		uploadSlots: make(chan struct{}, opts.MaxConcurrentJobs),
@@ -152,11 +198,32 @@ func New(ctx context.Context, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	return s
+	if s.st == nil {
+		s.ready.Store(true)
+	} else {
+		s.jobs.attachStore(s.st.Journal, s.st.Results)
+		s.jobs.shuttingDown = func() bool { return ctx.Err() != nil }
+		go s.recover()
+	}
+	return s, nil
 }
 
-// Handler returns the routed HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routed HTTP handler, wrapped in the readiness
+// gate: while journal replay runs, only /healthz is served — admitting a
+// job before its predecessors are re-queued would reorder history.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() && r.URL.Path != "/healthz" {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": "server is replaying its journal; retry shortly",
+				"ready": false,
+			})
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // ---- request payloads ----
 
@@ -189,13 +256,15 @@ func (sr *SweepRequest) sweep() experiment.Sweep {
 
 // AnonymizeRequest is the POST /anonymize and POST /evaluate body; Sweep is
 // only honored by /evaluate. Exactly one of Dataset (inline rows) and
-// DatasetRef (an ID returned by POST /datasets) must be set.
+// DatasetRef (an ID returned by POST /datasets) must be set. TimeoutMS
+// bounds the job's execution (capped by the server's -job-timeout).
 type AnonymizeRequest struct {
 	Dataset    json.RawMessage `json:"dataset,omitempty"`
 	DatasetRef string          `json:"dataset_ref,omitempty"`
 	Config     ConfigRequest   `json:"config"`
 	Sweep      *SweepRequest   `json:"sweep,omitempty"`
 	Workload   []string        `json:"workload,omitempty"`
+	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
 }
 
 // CompareRequest is the POST /compare body. Exactly one of Dataset and
@@ -206,6 +275,7 @@ type CompareRequest struct {
 	Configs    []ConfigRequest `json:"configs"`
 	Sweep      SweepRequest    `json:"sweep"`
 	Workload   []string        `json:"workload,omitempty"`
+	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
 }
 
 // hierSet memoizes per-fanout hierarchy derivation within one request, so
@@ -339,50 +409,196 @@ func (s *Server) resolveDataset(raw json.RawMessage, ref string) (load func() (*
 }
 
 // datasetError writes the right status for a dataset resolution failure:
-// an unknown (or already evicted) dataset_ref is 404, everything else is a
-// plain bad request.
+// an unknown (or already evicted) dataset_ref is 404, a broken durable
+// backing is 500, an oversized dataset 507, everything else a plain bad
+// request.
 func (s *Server) datasetError(w http.ResponseWriter, err error) {
-	if errors.Is(err, registry.ErrNotFound) {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
-		return
+	case errors.Is(err, registry.ErrStore):
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	case errors.Is(err, registry.ErrTooLarge):
+		writeJSON(w, http.StatusInsufficientStorage, map[string]any{"error": err.Error()})
+	default:
+		s.badRequest(w, err)
 	}
-	s.badRequest(w, err)
 }
 
-// ---- handlers ----
+// ---- job preparation ----
 
-func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
-	var req AnonymizeRequest
-	if !s.decodeBody(w, r, &req) {
-		return
+// preparedJob is a validated submission, ready to run (and re-run: the
+// recovery path rebuilds one from the journaled request body after a
+// crash). release frees resources acquired at preparation time — the
+// registry pin — and must be called exactly once on every exit path.
+type preparedJob struct {
+	fn         func(context.Context) ([]byte, error)
+	release    func()
+	timeout    time.Duration
+	datasetRef string
+}
+
+// effectiveTimeout combines the per-request budget with the server
+// default: the request can only tighten the operator's bound, never
+// loosen it.
+func (s *Server) effectiveTimeout(ms int64) time.Duration {
+	def := s.opts.JobTimeout
+	if ms <= 0 {
+		return def
 	}
-	if req.Sweep != nil {
+	t := time.Duration(ms) * time.Millisecond
+	if def > 0 && t > def {
+		return def
+	}
+	return t
+}
+
+// decodeStrict unmarshals a request body, rejecting unknown fields.
+func decodeStrict(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// prepareJob validates a raw request body for the given kind and builds
+// its runnable. Everything observable before admission happens here —
+// parse errors, config validation, the dataset pin — which is exactly
+// what makes journaled bodies re-queueable: recovery calls prepareJob
+// again and gets a fresh pin and a fresh closure.
+func (s *Server) prepareJob(kind string, body []byte) (*preparedJob, error) {
+	switch kind {
+	case "anonymize", "evaluate":
+		var req AnonymizeRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return nil, err
+		}
+		return s.prepareSingle(kind, &req)
+	case "compare":
+		var req CompareRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return nil, err
+		}
+		return s.prepareCompare(&req)
+	}
+	return nil, fmt.Errorf("unknown job kind %q", kind)
+}
+
+// prepareSingle builds anonymize and evaluate jobs (the latter optionally
+// a sweep).
+func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob, error) {
+	if kind == "anonymize" && req.Sweep != nil {
 		// Reject rather than silently running the base config once.
-		s.badRequest(w, fmt.Errorf("sweep is not supported by /anonymize; use /evaluate"))
-		return
+		return nil, fmt.Errorf("sweep is not supported by /anonymize; use /evaluate")
 	}
 	cfg, fanout, err := validateConfig(req.Config)
 	if err != nil {
-		s.badRequest(w, err)
-		return
+		return nil, err
 	}
 	workload, err := parseWorkload(req.Workload)
 	if err != nil {
-		s.badRequest(w, err)
-		return
+		return nil, err
 	}
-	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
-	if err != nil {
-		s.datasetError(w, err)
-		return
-	}
-	s.submit(w, "anonymize", release, func(ctx context.Context) ([]byte, error) {
-		res, cacheHit, err := s.runSingle(ctx, s.sched, load, cfg, fanout, workload)
+	if req.Sweep != nil {
+		sweep := req.Sweep.sweep()
+		if err := sweep.Validate(); err != nil {
+			return nil, err
+		}
+		load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
 		if err != nil {
 			return nil, err
 		}
-		return anonymizePayload(res, cacheHit)
-	})
+		fn := func(ctx context.Context) ([]byte, error) {
+			ds, err := load()
+			if err != nil {
+				return nil, err
+			}
+			if err := attachInputs(&cfg, ds, newHierSet(ds), fanout, workload); err != nil {
+				return nil, err
+			}
+			series, err := experiment.VaryingRunCtx(ctx, ds, cfg, sweep, s.uncached)
+			if err != nil {
+				return nil, err
+			}
+			return seriesPayload([]*experiment.Series{series})
+		}
+		return &preparedJob{fn: fn, release: release, timeout: s.effectiveTimeout(req.TimeoutMS), datasetRef: req.DatasetRef}, nil
+	}
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	if err != nil {
+		return nil, err
+	}
+	var fn func(context.Context) ([]byte, error)
+	if kind == "anonymize" {
+		fn = func(ctx context.Context) ([]byte, error) {
+			res, cacheHit, err := s.runSingle(ctx, s.sched, load, cfg, fanout, workload)
+			if err != nil {
+				return nil, err
+			}
+			return anonymizePayload(res, cacheHit)
+		}
+	} else {
+		fn = func(ctx context.Context) ([]byte, error) {
+			// Uncached like the CLI: /evaluate is a measurement, so its
+			// runtime must come from a real execution.
+			res, _, err := s.runSingle(ctx, s.uncached, load, cfg, fanout, workload)
+			if err != nil {
+				return nil, err
+			}
+			return resultsPayload([]*engine.Result{res})
+		}
+	}
+	return &preparedJob{fn: fn, release: release, timeout: s.effectiveTimeout(req.TimeoutMS), datasetRef: req.DatasetRef}, nil
+}
+
+func (s *Server) prepareCompare(req *CompareRequest) (*preparedJob, error) {
+	if len(req.Configs) == 0 {
+		return nil, fmt.Errorf("compare request has no configs")
+	}
+	bases := make([]engine.Config, len(req.Configs))
+	fanouts := make([]int, len(req.Configs))
+	for i, cr := range req.Configs {
+		cfg, fanout, err := validateConfig(cr)
+		if err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+		if cfg.Label == "" {
+			cfg.Label = cr.Algo
+		}
+		bases[i], fanouts[i] = cfg, fanout
+	}
+	workload, err := parseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	sweep := req.Sweep.sweep()
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	if err != nil {
+		return nil, err
+	}
+	fn := func(ctx context.Context) ([]byte, error) {
+		ds, err := load()
+		if err != nil {
+			return nil, err
+		}
+		hiers := newHierSet(ds)
+		for i := range bases {
+			if err := attachInputs(&bases[i], ds, hiers, fanouts[i], workload); err != nil {
+				return nil, err
+			}
+		}
+		series, err := experiment.CompareCtx(ctx, ds, bases, sweep, s.uncached)
+		if err != nil {
+			return nil, err
+		}
+		return seriesPayload(series)
+	}
+	return &preparedJob{fn: fn, release: release, timeout: s.effectiveTimeout(req.TimeoutMS), datasetRef: req.DatasetRef}, nil
 }
 
 // runSingle is the shared single-configuration job body: load the dataset
@@ -416,125 +632,42 @@ func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, load fu
 	return item.Result, item.CacheHit, nil
 }
 
+// ---- handlers ----
+
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	s.handleSubmit(w, r, "anonymize")
+}
+
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	var req AnonymizeRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	cfg, fanout, err := validateConfig(req.Config)
-	if err != nil {
-		s.badRequest(w, err)
-		return
-	}
-	workload, err := parseWorkload(req.Workload)
-	if err != nil {
-		s.badRequest(w, err)
-		return
-	}
-	if req.Sweep != nil {
-		sweep := req.Sweep.sweep()
-		if err := sweep.Validate(); err != nil {
-			s.badRequest(w, err)
-			return
-		}
-		load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
-		if err != nil {
-			s.datasetError(w, err)
-			return
-		}
-		s.submit(w, "evaluate", release, func(ctx context.Context) ([]byte, error) {
-			ds, err := load()
-			if err != nil {
-				return nil, err
-			}
-			if err := attachInputs(&cfg, ds, newHierSet(ds), fanout, workload); err != nil {
-				return nil, err
-			}
-			series, err := experiment.VaryingRunCtx(ctx, ds, cfg, sweep, s.uncached)
-			if err != nil {
-				return nil, err
-			}
-			return seriesPayload([]*experiment.Series{series})
-		})
-		return
-	}
-	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
-	if err != nil {
-		s.datasetError(w, err)
-		return
-	}
-	s.submit(w, "evaluate", release, func(ctx context.Context) ([]byte, error) {
-		// Uncached like the CLI: /evaluate is a measurement, so its
-		// runtime must come from a real execution.
-		res, _, err := s.runSingle(ctx, s.uncached, load, cfg, fanout, workload)
-		if err != nil {
-			return nil, err
-		}
-		return resultsPayload([]*engine.Result{res})
-	})
+	s.handleSubmit(w, r, "evaluate")
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	var req CompareRequest
-	if !s.decodeBody(w, r, &req) {
+	s.handleSubmit(w, r, "compare")
+}
+
+// handleSubmit is the shared submission path: read the (bounded) body,
+// validate it into a preparedJob, and hand both to submit — the body
+// rides along into the journal so a crash can re-queue the job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind string) {
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Configs) == 0 {
-		s.badRequest(w, fmt.Errorf("compare request has no configs"))
-		return
-	}
-	bases := make([]engine.Config, len(req.Configs))
-	fanouts := make([]int, len(req.Configs))
-	for i, cr := range req.Configs {
-		cfg, fanout, err := validateConfig(cr)
-		if err != nil {
-			s.badRequest(w, fmt.Errorf("config %d: %w", i, err))
-			return
-		}
-		if cfg.Label == "" {
-			cfg.Label = cr.Algo
-		}
-		bases[i], fanouts[i] = cfg, fanout
-	}
-	workload, err := parseWorkload(req.Workload)
-	if err != nil {
-		s.badRequest(w, err)
-		return
-	}
-	sweep := req.Sweep.sweep()
-	if err := sweep.Validate(); err != nil {
-		s.badRequest(w, err)
-		return
-	}
-	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	p, err := s.prepareJob(kind, body)
 	if err != nil {
 		s.datasetError(w, err)
 		return
 	}
-	s.submit(w, "compare", release, func(ctx context.Context) ([]byte, error) {
-		ds, err := load()
-		if err != nil {
-			return nil, err
-		}
-		hiers := newHierSet(ds)
-		for i := range bases {
-			if err := attachInputs(&bases[i], ds, hiers, fanouts[i], workload); err != nil {
-				return nil, err
-			}
-		}
-		series, err := experiment.CompareCtx(ctx, ds, bases, sweep, s.uncached)
-		if err != nil {
-			return nil, err
-		}
-		return seriesPayload(series)
-	})
+	s.submit(w, kind, body, p)
 }
 
 // handleDatasetUpload stores the posted dataset — the same JSON format the
 // inline "dataset" field carries — in the content-addressed registry and
 // returns its dataset_ref. The ref is the dataset's content fingerprint:
 // re-uploading identical content yields the same ref (created=false, 200)
-// and refreshes its recency; new content answers 201.
+// and refreshes its recency; new content answers 201. With a durable
+// store, the dataset is on disk (fsync'd) before the response is sent.
 func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.uploadSlots <- struct{}{}:
@@ -560,9 +693,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	id, created, err := s.registry.Add(ds)
 	if err != nil {
-		// Only ErrTooLarge reaches here: the dataset alone exceeds the
-		// registry byte cap and could never be resident.
-		writeJSON(w, http.StatusInsufficientStorage, map[string]any{"error": err.Error()})
+		s.datasetError(w, err)
 		return
 	}
 	code := http.StatusOK
@@ -595,9 +726,9 @@ func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// handleDatasetDelete evicts a dataset explicitly. A dataset pinned by a
-// running job cannot be deleted; the client gets 409 and may retry after
-// the job finishes.
+// handleDatasetDelete evicts a dataset explicitly (from disk too, when
+// durable). A dataset pinned by a running job cannot be deleted; the
+// client gets 409 and may retry after the job finishes.
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	switch err := s.registry.Remove(id); {
@@ -612,8 +743,40 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+// handleJobList supports ?state= (one lifecycle state), ?limit= (max
+// entries returned) and ?after= (a job ID cursor: only jobs submitted
+// after it), so polling a long-lived durable job table doesn't dump
+// thousands of entries. total counts every match before pagination.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	var q jobQuery
+	if st := params.Get("state"); st != "" {
+		q.state = Status(st)
+		if !validListState(q.state) {
+			s.badRequest(w, fmt.Errorf("unknown state %q", st))
+			return
+		}
+	}
+	if lim := params.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		// 0 is rejected rather than silently meaning "unlimited" — the
+		// internal sentinel must not be reachable from the query string.
+		if err != nil || n < 1 {
+			s.badRequest(w, fmt.Errorf("limit must be a positive integer, got %q", lim))
+			return
+		}
+		q.limit = n
+	}
+	if after := params.Get("after"); after != "" {
+		seq, err := parseJobSeq(after)
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		q.afterSeq = seq
+	}
+	views, total := s.jobs.list(q)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "total": total})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -637,7 +800,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(result)
-	case StatusFailed:
+	case StatusFailed, StatusTimedOut:
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
 			"job": j.id, "status": status, "error": errMsg,
 		})
@@ -653,7 +816,8 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobCancel stops a queued/running job; on a job that already
-// finished it deletes the record (and its retained result) instead.
+// finished it deletes the record (and its retained result — durable copy
+// included) instead.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
@@ -665,85 +829,123 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"job": j.id, "status": v.Status, "deleted": true})
 		return
 	}
-	j.cancel()
+	j.requestCancel()
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// handleHealth is the one endpoint that bypasses the readiness gate:
+// ready=false tells orchestrators the process is alive but still
+// replaying its journal.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": s.ready.Load()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"cache":    s.cache.Stats(),
 		"registry": s.registry.Stats(),
 		"jobs":     s.jobs.counts(),
-	})
+	}
+	if s.st != nil {
+		out["store"] = s.st.Stats()
+		s.recMu.Lock()
+		out["recovery"] = s.recovery
+		s.recMu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ---- plumbing ----
 
-// submit registers a job, responds 202 with its ID, and runs fn in the
-// background under a per-job cancellable context. Jobs wait in
-// StatusQueued for an admission slot, so at most MaxConcurrentJobs run at
-// once regardless of the submission rate; past MaxPendingJobs the request
-// is rejected outright with 429. cleanup (nil-able) releases resources the
-// handler acquired for the job — registry pins — and is guaranteed to run
-// exactly once on every path: rejection, cancellation while queued, and
-// normal completion. fn itself may never run (a job cancelled while
-// queued), which is why cleanup cannot live inside it.
-func (s *Server) submit(w http.ResponseWriter, kind string, cleanup func(), fn func(context.Context) ([]byte, error)) {
-	if cleanup == nil {
-		cleanup = func() {}
-	}
+// submit registers a job, responds 202 with its ID, and runs it in the
+// background. Jobs wait in StatusQueued for an admission slot, so at most
+// MaxConcurrentJobs run at once regardless of the submission rate; past
+// MaxPendingJobs the request is rejected outright with 429. body is
+// journaled with the submission so a crash before completion can re-queue
+// the job.
+func (s *Server) submit(w http.ResponseWriter, kind string, body []byte, p *preparedJob) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := s.jobs.add(kind, cancel, s.opts.MaxPendingJobs)
+	j := s.jobs.add(kind, cancel, s.opts.MaxPendingJobs, body, p.datasetRef)
 	if j == nil {
 		cancel()
-		cleanup()
+		p.release()
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error": fmt.Sprintf("server saturated: %d jobs pending", s.opts.MaxPendingJobs),
 		})
 		return
 	}
-	go func() {
-		defer cleanup()
-		defer cancel()
-		select {
-		case s.slots <- struct{}{}:
-			defer func() { <-s.slots }()
-		case <-ctx.Done():
-			j.finish(nil, ctx.Err(), true)
-			return
-		}
-		// The slot race can admit a job whose context was cancelled while
-		// it queued; don't burn the slot on dataset decoding for it.
-		if err := ctx.Err(); err != nil {
-			j.finish(nil, err, true)
-			return
-		}
-		j.start()
-		payload, err := fn(ctx)
-		j.finish(payload, err, ctx.Err() != nil)
-	}()
+	go s.runJob(ctx, cancel, j, p)
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
+// runJob drives one job through admission, execution and completion.
+// p.release (the registry pin) is guaranteed to run exactly once on every
+// path: cancellation while queued, timeout, and normal completion. p.fn
+// itself may never run (a job cancelled while queued), which is why
+// release cannot live inside it.
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, p *preparedJob) {
+	defer p.release()
+	defer cancel()
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-ctx.Done():
+		j.finish(nil, ctx.Err(), ctx.Err(), false)
+		return
+	}
+	// The slot race can admit a job whose context was cancelled while
+	// it queued; don't burn the slot on dataset decoding for it.
+	if err := ctx.Err(); err != nil {
+		j.finish(nil, err, err, false)
+		return
+	}
+	// The execution deadline starts now — queue wait is the server's
+	// fault, not the job's budget.
+	runCtx, cancelRun := ctx, context.CancelFunc(func() {})
+	if p.timeout > 0 {
+		runCtx, cancelRun = context.WithTimeout(ctx, p.timeout)
+	}
+	defer cancelRun()
+	j.start()
+	payload, err := p.fn(runCtx)
+	s.finishJob(j, payload, err, runCtx.Err())
+}
+
+// finishJob persists a successful payload (durability first: the result
+// blob is on disk before the journal's terminal record points at it),
+// then records the outcome.
+func (s *Server) finishJob(j *job, payload []byte, err error, ctxErr error) {
+	hasResult := false
+	// Persist whenever the work completed — matching finish()'s rule that
+	// a payload with no error is done even if the deadline fired as fn
+	// returned.
+	if err == nil && payload != nil && s.st != nil {
+		if werr := s.st.Results.Put(j.id, payload); werr != nil {
+			// The job still answers from memory; only post-restart
+			// retrieval is lost.
+			log.Printf("secreta-serve: persisting result of %s: %v", j.id, werr)
+		} else {
+			hasResult = true
+		}
+	}
+	j.finish(payload, err, ctxErr, hasResult)
+}
+
+// readBody reads the request body under the MaxBodyBytes cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
 				"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
 			})
-			return false
+			return nil, false
 		}
-		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
-		return false
+		s.badRequest(w, fmt.Errorf("reading request: %w", err))
+		return nil, false
 	}
-	return true
+	return body, true
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {

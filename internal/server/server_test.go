@@ -22,9 +22,20 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
+// mustNew builds a Server or fails the test (New only errors when a
+// durable store's dataset index cannot be read).
+func mustNew(t *testing.T, ctx context.Context, opts Options) *Server {
+	t.Helper()
+	s, err := New(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(context.Background(), Options{Workers: 4}).Handler())
+	ts := httptest.NewServer(mustNew(t, context.Background(), Options{Workers: 4}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -326,7 +337,7 @@ func TestBadRequests(t *testing.T) {
 		}
 	})
 	t.Run("oversized body", func(t *testing.T) {
-		small := httptest.NewServer(New(context.Background(), Options{Workers: 1, MaxBodyBytes: 1024}).Handler())
+		small := httptest.NewServer(mustNew(t, context.Background(), Options{Workers: 1, MaxBodyBytes: 1024}).Handler())
 		defer small.Close()
 		resp, err := http.Post(small.URL+"/anonymize", "application/json",
 			bytes.NewReader(append(dsJSON, bytes.Repeat([]byte(" "), 2048)...)))
@@ -436,7 +447,7 @@ func TestServerCacheHit(t *testing.T) {
 // removes its record, and the store evicts the oldest finished jobs past
 // MaxJobs.
 func TestJobDeletionAndEviction(t *testing.T) {
-	ts := httptest.NewServer(New(context.Background(), Options{Workers: 2, MaxJobs: 2}).Handler())
+	ts := httptest.NewServer(mustNew(t, context.Background(), Options{Workers: 2, MaxJobs: 2}).Handler())
 	t.Cleanup(ts.Close)
 	dsJSON, _ := patientsJSON(t)
 	submit := func() string {

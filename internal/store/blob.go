@@ -1,0 +1,179 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNoBlob is returned by BlobDir.Get when no blob with the given name
+// exists.
+var ErrNoBlob = errors.New("store: no such blob")
+
+// BlobDir is one flat directory of named blob files with atomic, fsync'd
+// writes. Names are single-segment identifiers (fingerprints, job IDs);
+// the BlobDir appends its extension. Safe for concurrent use — atomicity
+// comes from the filesystem (temp file + rename), not a lock, so readers
+// always see either the old or the new content of a blob, never a torn
+// write.
+type BlobDir struct {
+	dir string
+	ext string
+}
+
+// NewBlobDir creates dir if needed and returns a BlobDir whose files all
+// carry ext (e.g. ".json").
+func NewBlobDir(dir, ext string) (*BlobDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating blob dir: %w", err)
+	}
+	return &BlobDir{dir: dir, ext: ext}, nil
+}
+
+// Dir returns the directory path.
+func (b *BlobDir) Dir() string { return b.dir }
+
+func (b *BlobDir) path(name string) (string, error) {
+	if err := validBlobName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(b.dir, name+b.ext), nil
+}
+
+// Put durably writes data under name, replacing any previous blob.
+func (b *BlobDir) Put(name string, data []byte) error {
+	p, err := b.path(name)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(p, data)
+}
+
+// Get reads the blob under name; a missing blob answers ErrNoBlob.
+func (b *BlobDir) Get(name string) ([]byte, error) {
+	p, err := b.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNoBlob, name)
+	}
+	return data, err
+}
+
+// Has reports whether a blob named name exists.
+func (b *BlobDir) Has(name string) bool {
+	p, err := b.path(name)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Delete removes the blob under name. Deleting a missing blob is a no-op:
+// the postcondition already holds.
+func (b *BlobDir) Delete(name string) error {
+	p, err := b.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Names lists the resident blob names, sorted.
+func (b *BlobDir) Names() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), b.ext) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), b.ext)
+		if strings.HasPrefix(name, ".tmp-") || name == "" {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats walks the directory and sums blob count and bytes. Unreadable
+// entries are skipped — stats are advisory, not transactional.
+func (b *BlobDir) Stats() BlobStats {
+	var s BlobStats
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return s
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), b.ext) || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.Count++
+		s.Bytes += info.Size()
+	}
+	return s
+}
+
+// Trim deletes the oldest blobs (by modification time) until the
+// directory fits maxEntries entries and maxBytes total size; a cap <= 0
+// is unbounded. It reports how many blobs were removed. Trim is
+// best-effort — concurrent writers may briefly overshoot the caps.
+func (b *BlobDir) Trim(maxEntries int, maxBytes int64) (removed int, err error) {
+	if maxEntries <= 0 && maxBytes <= 0 {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return 0, err
+	}
+	type blobFile struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []blobFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), b.ext) || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, blobFile{filepath.Join(b.dir, e.Name()), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		over := (maxEntries > 0 && len(files)-removed > maxEntries) ||
+			(maxBytes > 0 && total > maxBytes)
+		if !over {
+			break
+		}
+		if err := os.Remove(f.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return removed, err
+		}
+		removed++
+		total -= f.size
+	}
+	return removed, nil
+}

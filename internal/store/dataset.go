@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"secreta/internal/dataset"
+)
+
+// DatasetMeta is the cheap-to-read description of one stored dataset,
+// kept in a sidecar file so booting a registry over a large data
+// directory does not decode every blob.
+type DatasetMeta struct {
+	ID      string `json:"dataset_ref"`
+	Attrs   int    `json:"attrs"`
+	Records int    `json:"records"`
+	// Bytes is the dataset's approximate in-RAM size (dataset.ApproxBytes),
+	// the cost the registry LRU accounts with — not the blob's disk size.
+	Bytes int64 `json:"bytes"`
+}
+
+// DatasetStore persists registry datasets as content-addressed blobs:
+// <fingerprint>.json holds the dataset in the same JSON format the HTTP
+// API speaks, <fingerprint>.meta the sidecar. Load verifies that the
+// decoded dataset's fingerprint matches its file name, so a corrupt or
+// tampered blob can never impersonate a dataset_ref.
+type DatasetStore struct {
+	blobs *BlobDir
+	metas *BlobDir
+}
+
+// NewDatasetStore creates dir if needed.
+func NewDatasetStore(dir string) (*DatasetStore, error) {
+	blobs, err := NewBlobDir(dir, ".json")
+	if err != nil {
+		return nil, err
+	}
+	metas, err := NewBlobDir(dir, ".meta")
+	if err != nil {
+		return nil, err
+	}
+	return &DatasetStore{blobs: blobs, metas: metas}, nil
+}
+
+// Save durably writes ds under id (its content fingerprint). The blob is
+// written before the meta sidecar, so a crash between the two leaves a
+// valid blob whose meta List regenerates.
+func (s *DatasetStore) Save(id string, ds *dataset.Dataset) error {
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		return fmt.Errorf("store: encoding dataset %q: %w", id, err)
+	}
+	if err := s.blobs.Put(id, buf.Bytes()); err != nil {
+		return err
+	}
+	return s.writeMeta(id, ds)
+}
+
+func (s *DatasetStore) writeMeta(id string, ds *dataset.Dataset) error {
+	meta := DatasetMeta{ID: id, Attrs: len(ds.Attrs), Records: len(ds.Records), Bytes: ds.ApproxBytes()}
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("store: encoding dataset meta %q: %w", id, err)
+	}
+	return s.metas.Put(id, data)
+}
+
+// Load reads and decodes the dataset under id, verifying its content
+// fingerprint against the name it was stored under.
+func (s *DatasetStore) Load(id string) (*dataset.Dataset, error) {
+	data, err := s.blobs.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dataset.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding dataset %q: %w", id, err)
+	}
+	if got := ds.Fingerprint(); got != id {
+		return nil, fmt.Errorf("store: dataset blob %q is corrupt: content fingerprint is %q", id, got)
+	}
+	return ds, nil
+}
+
+// Delete removes the blob and its meta sidecar; missing files are fine.
+func (s *DatasetStore) Delete(id string) error {
+	if err := s.blobs.Delete(id); err != nil {
+		return err
+	}
+	return s.metas.Delete(id)
+}
+
+// List describes every stored dataset. A blob whose meta sidecar is
+// missing (crash between the two writes, or an older layout) is decoded
+// once to regenerate it; a blob that fails to decode is skipped — one
+// corrupt upload must not take the whole index down.
+func (s *DatasetStore) List() ([]DatasetMeta, error) {
+	names, err := s.blobs.Names()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DatasetMeta, 0, len(names))
+	for _, id := range names {
+		if data, err := s.metas.Get(id); err == nil {
+			var meta DatasetMeta
+			if json.Unmarshal(data, &meta) == nil && meta.ID == id {
+				out = append(out, meta)
+				continue
+			}
+		}
+		ds, err := s.Load(id)
+		if err != nil {
+			continue
+		}
+		// Rewriting the sidecar is an optimization for the next List; a
+		// failure (read-only disk) must not veto the index — we already
+		// have the meta in hand.
+		_ = s.writeMeta(id, ds)
+		out = append(out, DatasetMeta{ID: id, Attrs: len(ds.Attrs), Records: len(ds.Records), Bytes: ds.ApproxBytes()})
+	}
+	return out, nil
+}
+
+// Stats reports blob-file occupancy (disk bytes, not ApproxBytes).
+func (s *DatasetStore) Stats() BlobStats { return s.blobs.Stats() }

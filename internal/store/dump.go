@@ -1,0 +1,92 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// DumpJournal pretty-prints a journal — snapshot, then every WAL record,
+// then a tail verdict — for debugging (`secreta wal-dump`). It is
+// strictly read-only: unlike OpenJournal it neither repairs a torn tail
+// nor takes the single-process ownership of the directory, so it is safe
+// to point at a live server's data dir. dir may be the data directory or
+// the journal directory itself.
+func DumpJournal(w io.Writer, dir string) error {
+	journalDir := dir
+	if _, err := os.Stat(filepath.Join(dir, "journal")); err == nil {
+		journalDir = filepath.Join(dir, "journal")
+	}
+	snapPath := filepath.Join(journalDir, snapshotFileName)
+	snap, err := readSnapshotFile(snapPath)
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		fmt.Fprintf(w, "snapshot: none\n")
+	} else {
+		fmt.Fprintf(w, "snapshot: seq=%d taken=%s jobs=%d\n", snap.Seq, snap.TakenAt.Format("2006-01-02T15:04:05.000Z07:00"), len(snap.Jobs))
+		for _, rec := range snap.Jobs {
+			dumpJobLine(w, "  ", &rec)
+		}
+	}
+	walPath := filepath.Join(journalDir, walFileName)
+	data, err := os.ReadFile(walPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(w, "wal: none\n")
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading WAL: %w", err)
+	}
+	records, valid, torn := scanWAL(data)
+	fmt.Fprintf(w, "wal: %d records, %d bytes\n", len(records), valid)
+	for i, payload := range records {
+		var op walOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			fmt.Fprintf(w, "  [%d] unparseable record: %v\n", i, err)
+			continue
+		}
+		switch op.Op {
+		case "submit":
+			if op.Job != nil {
+				fmt.Fprintf(w, "  [%d] %s submit ", i, op.At.Format("15:04:05.000"))
+				dumpJobLine(w, "", op.Job)
+			}
+		case "finish":
+			msg := ""
+			if op.Error != "" {
+				msg = fmt.Sprintf(" error=%q", op.Error)
+			}
+			fmt.Fprintf(w, "  [%d] %s finish %s -> %s result=%v%s\n", i, op.At.Format("15:04:05.000"), op.ID, op.Status, op.HasResult, msg)
+		default:
+			fmt.Fprintf(w, "  [%d] %s %s %s\n", i, op.At.Format("15:04:05.000"), op.Op, op.ID)
+		}
+	}
+	if torn {
+		fmt.Fprintf(w, "tail: TORN — %d trailing bytes past offset %d will be dropped on the next boot\n", int64(len(data))-valid, valid)
+	} else {
+		fmt.Fprintf(w, "tail: clean\n")
+	}
+	return nil
+}
+
+func dumpJobLine(w io.Writer, indent string, rec *JobRecord) {
+	ref := ""
+	if rec.DatasetRef != "" {
+		r := rec.DatasetRef
+		if len(r) > 12 {
+			r = r[:12] + "…"
+		}
+		ref = " ref=" + r
+	}
+	body := ""
+	if len(rec.Body) > 0 {
+		body = fmt.Sprintf(" body=%dB", len(rec.Body))
+	}
+	fmt.Fprintf(w, "%s%s seq=%d %s %s%s%s\n", indent, rec.ID, rec.Seq, rec.Kind, rec.Status, ref, body)
+}

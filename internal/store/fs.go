@@ -1,0 +1,64 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// writeFileAtomic durably writes data to path: an fsync'd temp file in
+// the same directory, renamed over the target, then the directory entry
+// fsync'd. A crash at any point leaves either the old file or the new
+// one, never a torn mix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// validBlobName guards against path traversal and reserved names: blob
+// names become file names verbatim (plus the store's extension), so they
+// must be plain single-segment identifiers. Dataset fingerprints, job IDs
+// and hashed cache keys all satisfy this.
+func validBlobName(name string) error {
+	if name == "" || name == "." || name == ".." {
+		return fmt.Errorf("store: invalid blob name %q", name)
+	}
+	if strings.ContainsAny(name, "/\\") || strings.ContainsRune(name, os.PathSeparator) {
+		return fmt.Errorf("store: invalid blob name %q", name)
+	}
+	return nil
+}

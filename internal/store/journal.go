@@ -1,0 +1,407 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobRecord is the durable state of one job as the journal tracks it. The
+// Status strings are owned by the server (queued, running, done, failed,
+// cancelled, timed_out); the journal treats them as opaque except for the
+// transition rules encoded in the record ops below. Body is the original
+// request payload, kept only while the job is non-terminal so a crash can
+// re-queue it; terminal transitions drop it to keep snapshots small.
+type JobRecord struct {
+	ID          string          `json:"id"`
+	Seq         int             `json:"seq"`
+	Kind        string          `json:"kind"`
+	Status      string          `json:"status"`
+	Error       string          `json:"error,omitempty"`
+	DatasetRef  string          `json:"dataset_ref,omitempty"`
+	Body        json.RawMessage `json:"body,omitempty"`
+	HasResult   bool            `json:"has_result,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   time.Time       `json:"started_at,omitempty"`
+	FinishedAt  time.Time       `json:"finished_at,omitempty"`
+}
+
+// walOp is one journal record: a typed transition applied to the job
+// table. Ops are idempotent under replay — a snapshot that raced a crash
+// before WAL truncation replays cleanly over its own history.
+type walOp struct {
+	// Op is "submit", "start", "finish" or "delete".
+	Op string    `json:"op"`
+	At time.Time `json:"at"`
+	// Job carries the full record for "submit"; the other ops name an
+	// existing job by ID.
+	Job *JobRecord `json:"job,omitempty"`
+	ID  string     `json:"id,omitempty"`
+	// Status, Error and HasResult describe a "finish" transition.
+	Status    string `json:"status,omitempty"`
+	Error     string `json:"error,omitempty"`
+	HasResult bool   `json:"has_result,omitempty"`
+}
+
+// StatusRunning is the one status string the journal itself writes: a
+// "start" op moves a job here. Exported (untyped) so the server's Status
+// constant is defined from it and the two can never drift.
+const StatusRunning = "running"
+
+// Journal is the WAL-backed job table: every lifecycle transition is
+// appended (checksummed, fsync'd) before it becomes observable, the
+// materialized table is snapshotted every snapshotEvery appends, and the
+// WAL is truncated after each durable snapshot. Open replays
+// snapshot+WAL, repairing a torn tail. Safe for concurrent use.
+type Journal struct {
+	mu            sync.Mutex
+	dir           string
+	f             *os.File
+	closed        bool
+	table         map[string]*JobRecord
+	seq           int
+	appends       int // since the last snapshot
+	walRecords    int
+	walBytes      int64
+	lastSnapshot  time.Time
+	snapshotEvery int
+	replay        ReplayStats
+}
+
+// ReplayStats describes what the last OpenJournal recovered.
+type ReplayStats struct {
+	// SnapshotJobs counts jobs restored from the snapshot file.
+	SnapshotJobs int `json:"snapshot_jobs"`
+	// WALRecords counts valid WAL records replayed on top.
+	WALRecords int `json:"wal_records"`
+	// TornTail reports whether trailing bytes were dropped; TornBytes is
+	// how many.
+	TornTail  bool  `json:"torn_tail"`
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+}
+
+// snapshotFile is the JSON shape of journal/snapshot.json.
+type snapshotFile struct {
+	Seq     int         `json:"seq"`
+	TakenAt time.Time   `json:"taken_at"`
+	Jobs    []JobRecord `json:"jobs"`
+}
+
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+)
+
+// OpenJournal opens (creating if needed) the journal directory, loads the
+// snapshot, replays the WAL over it, truncates any torn tail in place,
+// and reopens the WAL for appending. snapshotEvery <= 0 picks
+// DefaultSnapshotEvery.
+func OpenJournal(dir string, snapshotEvery int) (*Journal, error) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating journal dir: %w", err)
+	}
+	j := &Journal{
+		dir:           dir,
+		table:         make(map[string]*JobRecord),
+		snapshotEvery: snapshotEvery,
+		lastSnapshot:  time.Now(),
+	}
+	snap, err := readSnapshotFile(filepath.Join(dir, snapshotFileName))
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		j.seq = snap.Seq
+		j.lastSnapshot = snap.TakenAt
+		for i := range snap.Jobs {
+			rec := snap.Jobs[i]
+			j.table[rec.ID] = &rec
+			j.replay.SnapshotJobs++
+		}
+	}
+	walPath := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	records, valid, torn := scanWAL(data)
+	applied := int64(0) // byte offset after the last record actually applied
+	for _, payload := range records {
+		var op walOp
+		if err := json.Unmarshal(payload, &op); err != nil {
+			// A framed record that fails to parse is corruption the CRC
+			// did not catch; treat everything from here on as the tail.
+			// Crucially the repair must truncate HERE, at this record's
+			// own offset — truncating at scanWAL's CRC-valid boundary
+			// would keep the bad record in the file and re-stop every
+			// future replay at it, orphaning everything appended after.
+			torn = true
+			valid = applied
+			break
+		}
+		j.apply(&op)
+		j.replay.WALRecords++
+		applied += int64(walHeaderSize + len(payload))
+	}
+	j.replay.TornTail = torn
+	if torn {
+		j.replay.TornBytes = int64(len(data)) - valid
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	// Repair the tail in place: truncate to the last valid record and
+	// append from there. O_APPEND is deliberately not used — a repaired
+	// file must not resurrect dropped bytes, and a single writer seeking
+	// to the end is equivalent.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: repairing WAL tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking WAL: %w", err)
+	}
+	if torn {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: syncing repaired WAL: %w", err)
+		}
+	}
+	j.f = f
+	j.walRecords = len(records)
+	j.walBytes = valid
+	return j, nil
+}
+
+func readSnapshotFile(path string) (*snapshotFile, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		// The snapshot is written atomically, so a parse failure means
+		// real corruption; refusing to boot beats silently dropping the
+		// whole job history (the WAL alone is not the full state).
+		return nil, fmt.Errorf("store: corrupt snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// apply folds one op into the table. Idempotent: replaying a WAL over a
+// snapshot that already contains its effects is a no-op.
+func (j *Journal) apply(op *walOp) {
+	switch op.Op {
+	case "submit":
+		if op.Job == nil {
+			return
+		}
+		if _, ok := j.table[op.Job.ID]; ok {
+			return
+		}
+		rec := *op.Job
+		j.table[rec.ID] = &rec
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+	case "start":
+		rec, ok := j.table[op.ID]
+		if !ok || rec.FinishedAt != (time.Time{}) {
+			return
+		}
+		rec.Status = StatusRunning
+		rec.StartedAt = op.At
+	case "finish":
+		rec, ok := j.table[op.ID]
+		if !ok || rec.FinishedAt != (time.Time{}) {
+			return
+		}
+		rec.Status = op.Status
+		rec.Error = op.Error
+		rec.HasResult = op.HasResult
+		rec.FinishedAt = op.At
+		rec.Body = nil
+	case "delete":
+		delete(j.table, op.ID)
+	}
+}
+
+// append journals one op: marshal, frame, fsync, fold into the table,
+// and snapshot + truncate when the cadence is due.
+func (j *Journal) append(op *walOp) error {
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: journal is closed")
+	}
+	if err := appendWALRecord(j.f, payload); err != nil {
+		// A short write leaves a torn frame mid-file; without rolling
+		// back, every later append would land after it and be silently
+		// dropped by replay. Truncate to the last durable frame so one
+		// failed append costs one record, not the rest of the log.
+		if terr := j.f.Truncate(j.walBytes); terr == nil {
+			j.f.Seek(j.walBytes, 0)
+		}
+		return err
+	}
+	j.walRecords++
+	j.walBytes += int64(walHeaderSize + len(payload))
+	j.apply(op)
+	j.appends++
+	if j.appends >= j.snapshotEvery {
+		if err := j.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit journals a new job. rec.Status should be the server's queued
+// state; rec.Body must carry everything needed to re-run the job after a
+// crash.
+func (j *Journal) Submit(rec JobRecord) error {
+	return j.append(&walOp{Op: "submit", At: time.Now(), Job: &rec})
+}
+
+// Start journals the queued → running transition.
+func (j *Journal) Start(id string) error {
+	return j.append(&walOp{Op: "start", At: time.Now(), ID: id})
+}
+
+// Finish journals a terminal transition (done/failed/cancelled/timed_out
+// in the server's vocabulary). hasResult records that a result blob was
+// durably written before this call.
+func (j *Journal) Finish(id, status, errMsg string, hasResult bool) error {
+	return j.append(&walOp{Op: "finish", At: time.Now(), ID: id, Status: status, Error: errMsg, HasResult: hasResult})
+}
+
+// Delete journals the removal of a job record (client delete or retention
+// eviction).
+func (j *Journal) Delete(id string) error {
+	return j.append(&walOp{Op: "delete", At: time.Now(), ID: id})
+}
+
+// Jobs returns a copy of the job table sorted by submission order.
+func (j *Journal) Jobs() []JobRecord {
+	j.mu.Lock()
+	out := make([]JobRecord, 0, len(j.table))
+	for _, rec := range j.table {
+		out = append(out, *rec)
+	}
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Seq returns the highest job sequence number the journal has seen, so a
+// recovering server can continue numbering without collisions.
+func (j *Journal) Seq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Snapshot forces a snapshot + WAL truncation now.
+func (j *Journal) Snapshot() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: journal is closed")
+	}
+	return j.snapshotLocked()
+}
+
+// snapshotLocked writes the job table atomically, then truncates the WAL.
+// Crash windows are safe in both directions: before the rename the old
+// snapshot + full WAL replay to the same state; between rename and
+// truncation the new snapshot absorbs a replay of its own WAL because
+// apply is idempotent. Caller holds j.mu.
+func (j *Journal) snapshotLocked() error {
+	snap := snapshotFile{Seq: j.seq, TakenAt: time.Now()}
+	for _, rec := range j.table {
+		snap.Jobs = append(snap.Jobs, *rec)
+	}
+	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].Seq < snap.Jobs[b].Seq })
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(j.dir, snapshotFileName), data); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL: %w", err)
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewinding WAL: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing truncated WAL: %w", err)
+	}
+	j.appends = 0
+	j.walRecords = 0
+	j.walBytes = 0
+	j.lastSnapshot = snap.TakenAt
+	return nil
+}
+
+// Close snapshots one last time (so the next boot replays nothing) and
+// closes the WAL file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	snapErr := j.snapshotLocked()
+	j.closed = true
+	closeErr := j.f.Close()
+	if snapErr != nil {
+		return snapErr
+	}
+	return closeErr
+}
+
+// JournalStats is the journal's health snapshot for GET /stats.
+type JournalStats struct {
+	// Jobs is the current job-table population.
+	Jobs int `json:"jobs"`
+	// WALRecords / WALBytes measure the log since the last truncation.
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// LastSnapshotAgeSec is how stale the snapshot is.
+	LastSnapshotAgeSec float64 `json:"last_snapshot_age_s"`
+	// Replay describes what the last boot recovered.
+	Replay ReplayStats `json:"replay"`
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Jobs:               len(j.table),
+		WALRecords:         j.walRecords,
+		WALBytes:           j.walBytes,
+		LastSnapshotAgeSec: time.Since(j.lastSnapshot).Seconds(),
+		Replay:             j.replay,
+	}
+}

@@ -1,0 +1,157 @@
+// Package store is the durable persistence layer of secreta-serve: a
+// content-addressed blob store for registry datasets, an append-only
+// checksummed write-ahead log (WAL) of job lifecycle transitions with
+// periodic snapshot + truncation, and a disk-backed spill target for the
+// engine's result cache. Everything the server must not lose across a
+// restart lives under one data directory:
+//
+//	<data-dir>/
+//	  datasets/<fingerprint>.json   dataset blobs (content-addressed)
+//	  datasets/<fingerprint>.meta   cached {attrs, records, bytes} sidecar
+//	  results/<job-id>.json         terminal job result payloads
+//	  cache/<sha256(key)>.json      persisted result-cache entries
+//	  journal/wal.log               append-only checksummed job journal
+//	  journal/snapshot.json         job-table snapshot (WAL truncation point)
+//
+// Writes are crash-safe by construction: blobs and snapshots go through an
+// fsync'd temp-file + rename in the same directory, and every WAL record
+// is length-prefixed and CRC-checked so replay stops cleanly at a torn
+// tail instead of refusing to boot. The package knows nothing about HTTP
+// or the engine; internal/registry, internal/engine and internal/server
+// consume it through narrow interfaces.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Disk result-cache bounds: unlike the in-RAM caches these are not
+// operator flags (one less knob to mis-set); they exist only to keep a
+// long-lived data directory from growing without bound. Oldest entries
+// (by modification time) are trimmed past either cap.
+const (
+	DefaultDiskCacheEntries = 4096
+	DefaultDiskCacheBytes   = 2 << 30 // 2 GiB of serialized results
+)
+
+// DefaultSnapshotEvery is the journal's default snapshot cadence: after
+// this many WAL appends the job table is snapshotted and the log
+// truncated, bounding both replay time and WAL size.
+const DefaultSnapshotEvery = 256
+
+// Options tunes a Store.
+type Options struct {
+	// SnapshotEvery is the number of WAL appends between automatic
+	// snapshots (<= 0: DefaultSnapshotEvery).
+	SnapshotEvery int
+	// CacheMaxEntries / CacheMaxBytes bound the on-disk result cache
+	// (<= 0: package defaults).
+	CacheMaxEntries int
+	CacheMaxBytes   int64
+}
+
+// Store is one opened data directory. Fields are independent sub-stores;
+// all of them are safe for concurrent use.
+type Store struct {
+	// Dir is the data directory root.
+	Dir string
+	// Datasets holds registry dataset blobs, fingerprint-named.
+	Datasets *DatasetStore
+	// Results holds terminal job result payloads, job-ID-named.
+	Results *BlobDir
+	// Cache spills engine result-cache entries to disk.
+	Cache *CacheStore
+	// Journal is the WAL-backed job table.
+	Journal *Journal
+
+	// Blob stats are directory walks (a stat per file); cache them
+	// briefly so a monitoring poller doesn't rescan an aging data dir
+	// on every probe.
+	statsMu    sync.Mutex
+	statsAt    time.Time
+	statsBlobs [3]BlobStats // datasets, results, cache
+}
+
+// statsTTL bounds how stale the cached blob-walk numbers can be.
+const statsTTL = 2 * time.Second
+
+// Open creates (or reopens) the data directory layout and replays the
+// journal: after Open returns, Journal.Jobs reflects the last durable
+// state, with any torn WAL tail repaired. Concurrent Opens of the same
+// directory are not supported — the store is a single-process owner.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	datasets, err := NewDatasetStore(filepath.Join(dir, "datasets"))
+	if err != nil {
+		return nil, err
+	}
+	results, err := NewBlobDir(filepath.Join(dir, "results"), ".json")
+	if err != nil {
+		return nil, err
+	}
+	cache, err := NewCacheStore(filepath.Join(dir, "cache"), opts.CacheMaxEntries, opts.CacheMaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	journal, err := OpenJournal(filepath.Join(dir, "journal"), opts.SnapshotEvery)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		Dir:      dir,
+		Datasets: datasets,
+		Results:  results,
+		Cache:    cache,
+		Journal:  journal,
+	}, nil
+}
+
+// Close snapshots the journal one last time (making the next boot replay
+// nothing) and closes the WAL. The blob sub-stores are stateless and need
+// no close.
+func (s *Store) Close() error {
+	return s.Journal.Close()
+}
+
+// BlobStats is the occupancy of one blob directory.
+type BlobStats struct {
+	Count int   `json:"count"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats is a point-in-time snapshot of the store's disk occupancy and
+// journal health, surfaced on GET /stats.
+type Stats struct {
+	Datasets    BlobStats    `json:"datasets"`
+	Results     BlobStats    `json:"results"`
+	ResultCache BlobStats    `json:"result_cache"`
+	Journal     JournalStats `json:"journal"`
+}
+
+// Stats snapshots the journal counters and the blob-directory occupancy
+// (the directory walks are cached for statsTTL; journal numbers are
+// always live).
+func (s *Store) Stats() Stats {
+	s.statsMu.Lock()
+	if time.Since(s.statsAt) >= statsTTL {
+		s.statsBlobs = [3]BlobStats{s.Datasets.Stats(), s.Results.Stats(), s.Cache.Stats()}
+		s.statsAt = time.Now()
+	}
+	blobs := s.statsBlobs
+	s.statsMu.Unlock()
+	return Stats{
+		Datasets:    blobs[0],
+		Results:     blobs[1],
+		ResultCache: blobs[2],
+		Journal:     s.Journal.Stats(),
+	}
+}

@@ -1,0 +1,273 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"secreta/internal/dataset"
+)
+
+func TestBlobDirRoundTrip(t *testing.T) {
+	b, err := NewBlobDir(filepath.Join(t.TempDir(), "blobs"), ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("b", []byte("payload-b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("a")
+	if err != nil || string(got) != "payload-a" {
+		t.Fatalf("Get a: %q, %v", got, err)
+	}
+	if _, err := b.Get("missing"); !errors.Is(err, ErrNoBlob) {
+		t.Fatalf("missing blob: %v", err)
+	}
+	names, err := b.Names()
+	if err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names: %v, %v", names, err)
+	}
+	st := b.Stats()
+	if st.Count != 2 || st.Bytes != int64(len("payload-a")+len("payload-b")) {
+		t.Fatalf("Stats: %+v", st)
+	}
+	if err := b.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("a"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if b.Has("a") || !b.Has("b") {
+		t.Fatal("Has after delete wrong")
+	}
+}
+
+func TestBlobDirRejectsTraversal(t *testing.T) {
+	b, err := NewBlobDir(t.TempDir(), ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "../escape"} {
+		if err := b.Put(name, []byte("x")); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}
+
+func TestBlobDirTrim(t *testing.T) {
+	b, err := NewBlobDir(t.TempDir(), ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"old", "mid", "new"} {
+		if err := b.Put(name, bytes.Repeat([]byte("x"), 10)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes without sleeping.
+		mt := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(filepath.Join(b.Dir(), name+".json"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := b.Trim(2, 0)
+	if err != nil || removed != 1 {
+		t.Fatalf("Trim entries: removed=%d err=%v", removed, err)
+	}
+	if b.Has("old") {
+		t.Fatal("entry-cap trim removed the wrong blob")
+	}
+	removed, err = b.Trim(0, 10)
+	if err != nil || removed != 1 {
+		t.Fatalf("Trim bytes: removed=%d err=%v", removed, err)
+	}
+	if !b.Has("new") {
+		t.Fatal("byte-cap trim removed the newest blob")
+	}
+}
+
+func sampleDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New([]dataset.Attribute{
+		{Name: "Age", Kind: dataset.Numeric},
+		{Name: "Sex", Kind: dataset.Categorical},
+	}, "Items")
+	for _, rec := range []dataset.Record{
+		{Values: []string{"25", "M"}, Items: []string{"a", "b"}},
+		{Values: []string{"30", "F"}, Items: []string{"b", "c"}},
+	} {
+		if err := ds.AddRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestDatasetStoreRoundTripAndVerify(t *testing.T) {
+	s, err := NewDatasetStore(filepath.Join(t.TempDir(), "datasets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sampleDataset(t)
+	id := ds.Fingerprint()
+	if err := s.Save(id, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != id {
+		t.Fatal("loaded dataset has different fingerprint")
+	}
+	list, err := s.List()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("List: %v, %v", list, err)
+	}
+	if list[0].ID != id || list[0].Records != 2 || list[0].Attrs != 2 || list[0].Bytes != ds.ApproxBytes() {
+		t.Fatalf("meta: %+v", list[0])
+	}
+
+	// Meta sidecar lost (crash between blob and meta writes): List
+	// regenerates it from the blob.
+	if err := s.metas.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	list, err = s.List()
+	if err != nil || len(list) != 1 || list[0].Records != 2 {
+		t.Fatalf("List after meta loss: %v, %v", list, err)
+	}
+	if !s.metas.Has(id) {
+		t.Fatal("List did not regenerate the meta sidecar")
+	}
+
+	// A corrupted blob must fail fingerprint verification, and List must
+	// skip it rather than fail.
+	blobPath := filepath.Join(s.blobs.Dir(), id+".json")
+	data, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"25"`), []byte(`"26"`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper patch missed")
+	}
+	if err := os.WriteFile(blobPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(id); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("tampered blob loaded: %v", err)
+	}
+	if err := s.metas.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	list, err = s.List()
+	if err != nil || len(list) != 0 {
+		t.Fatalf("List with corrupt blob: %v, %v", list, err)
+	}
+
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(id); !errors.Is(err, ErrNoBlob) {
+		t.Fatalf("Load after delete: %v", err)
+	}
+}
+
+func TestCacheStoreRoundTrip(t *testing.T) {
+	c, err := NewCacheStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abc123/def456" // engine keys contain '/'
+	if err := c.SaveResult(key, []byte("result")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LoadResult(key)
+	if err != nil || string(got) != "result" {
+		t.Fatalf("LoadResult: %q, %v", got, err)
+	}
+	miss, err := c.LoadResult("nope")
+	if err != nil || miss != nil {
+		t.Fatalf("LoadResult miss: %q, %v", miss, err)
+	}
+}
+
+func TestStoreOpenLayoutAndStats(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sampleDataset(t)
+	id := ds.Fingerprint()
+	if err := st.Datasets.Save(id, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Results.Put("j-000001", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Journal.Submit(submitRec("j-000001", 1)); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Datasets.Count != 1 || stats.Results.Count != 1 || stats.Journal.Jobs != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen over the same dir: everything still there.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Datasets.Load(id); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st2.Results.Get("j-000001"); err != nil || string(got) != `{"ok":true}` {
+		t.Fatalf("result blob: %q, %v", got, err)
+	}
+	if jobs := st2.Journal.Jobs(); len(jobs) != 1 || jobs[0].ID != "j-000001" {
+		t.Fatalf("journal: %+v", jobs)
+	}
+}
+
+func TestDumpJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Journal.Submit(submitRec("j-000001", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Journal.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Journal.Start("j-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Journal.Finish("j-000001", "done", "", true); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DumpJournal(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"snapshot: seq=1", "j-000001", "start", "finish", "-> done", "tail: clean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	st.Close()
+}
