@@ -58,6 +58,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "default job execution deadline, also caps per-request timeout_ms (0: none)")
 	dataDir := flag.String("data-dir", "", "durable state directory; empty keeps everything in memory")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal appends between snapshots (0: default 256)")
+	diskCacheEntries := flag.Int("disk-cache-entries", 0, "disk result cache entry cap (0: default 4096); needs -data-dir")
+	diskCacheBytes := flag.Int64("disk-cache-bytes", 0, "disk result cache byte cap (0: default 2 GiB); needs -data-dir")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,7 +80,12 @@ func main() {
 		RegistryMaxBytes:    *registryBytes,
 		JobTimeout:          *jobTimeout,
 	}
-	if err := run(ctx, ln, opts, *dataDir, *snapshotEvery); err != nil {
+	stOpts := store.Options{
+		SnapshotEvery:   *snapshotEvery,
+		CacheMaxEntries: *diskCacheEntries,
+		CacheMaxBytes:   *diskCacheBytes,
+	}
+	if err := run(ctx, ln, opts, *dataDir, stOpts); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -87,9 +94,9 @@ func main() {
 // requests for up to 5s and closes the store (final journal snapshot).
 // Split from main so tests can drive it on an ephemeral listener and a
 // temp data dir.
-func run(ctx context.Context, ln net.Listener, opts server.Options, dataDir string, snapshotEvery int) error {
+func run(ctx context.Context, ln net.Listener, opts server.Options, dataDir string, stOpts store.Options) error {
 	if dataDir != "" {
-		st, err := store.Open(dataDir, store.Options{SnapshotEvery: snapshotEvery})
+		st, err := store.Open(dataDir, stOpts)
 		if err != nil {
 			return fmt.Errorf("secreta-serve: %w", err)
 		}

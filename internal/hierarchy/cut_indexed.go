@@ -1,0 +1,124 @@
+package hierarchy
+
+import "fmt"
+
+// IndexedCut is the dense-ID mirror of a Cut: mapping a node through the
+// cut is one array read, the NCP numerator is maintained incrementally
+// (and matches Cut.NCP bit for bit), and generalizing is a contiguous
+// range fill over the parent's preorder ID range. Apriori-style repair
+// loops mutate an IndexedCut and write the final antichain back to the
+// caller's Cut with ApplyTo.
+type IndexedCut struct {
+	ix *Index
+	// on marks the IDs currently on the cut.
+	on []bool
+	// anc[id] is the cut node covering id (id itself for nodes strictly
+	// above the cut, mirroring Cut.Map's pass-through).
+	anc []int32
+	// num is the running NCP numerator: sum of (leaves-1)*leaves over the
+	// cut's nodes, the exact integer Cut.NCP divides once at the end.
+	num int64
+}
+
+// NewIndexedCut builds the dense mirror of cut over the hierarchy's index.
+func NewIndexedCut(ix *Index, cut *Cut) *IndexedCut {
+	n := ix.Len()
+	c := &IndexedCut{ix: ix, on: make([]bool, n), anc: make([]int32, n)}
+	// One preorder sweep: a cut node's subtree is a contiguous ID range,
+	// and the ranges of distinct cut nodes are disjoint, so a running
+	// "current covering range" resolves every node.
+	covering, end := int32(-1), int32(0)
+	for id := int32(0); id < int32(n); id++ {
+		if covering >= 0 && id < end {
+			c.anc[id] = covering
+			continue
+		}
+		if cut.in[ix.nodes[id]] {
+			c.on[id] = true
+			c.num += ix.NCPNum(id)
+			covering, end = id, id+ix.size[id]
+			c.anc[id] = id
+			continue
+		}
+		// Strictly above the cut: maps to itself.
+		c.anc[id] = id
+	}
+	return c
+}
+
+// Index returns the underlying hierarchy index.
+func (c *IndexedCut) Index() *Index { return c.ix }
+
+// Map returns the cut node covering id (id itself above the cut) — O(1).
+func (c *IndexedCut) Map(id int32) int32 { return c.anc[id] }
+
+// On reports whether id is on the cut.
+func (c *IndexedCut) On(id int32) bool { return c.on[id] }
+
+// NCPNumerator returns the running integer numerator of the cut's NCP.
+func (c *IndexedCut) NCPNumerator() int64 { return c.num }
+
+// NCP returns the cut's weighted average NCP, computed with exactly the
+// operations of Cut.NCP so tie-breaks on NCP deltas agree to the last bit.
+func (c *IndexedCut) NCP() float64 {
+	total := int(c.ix.numLeaves)
+	if total <= 1 {
+		return 0
+	}
+	return float64(c.num) / (float64(total-1) * float64(total))
+}
+
+// GeneralizeDeltaNum returns the change the cut's NCP numerator would see
+// from generalizing id to its parent, without mutating the cut. ok is
+// false when id is not on the cut or is the root — the cases Cut.Generalize
+// rejects.
+func (c *IndexedCut) GeneralizeDeltaNum(id int32) (delta int64, ok bool) {
+	if id < 0 || !c.on[id] {
+		return 0, false
+	}
+	p := c.ix.par[id]
+	if p < 0 {
+		return 0, false
+	}
+	delta = c.ix.NCPNum(p)
+	for j, end := p, p+c.ix.size[p]; j < end; j++ {
+		if c.on[j] {
+			delta -= c.ix.NCPNum(j)
+		}
+	}
+	return delta, true
+}
+
+// Generalize replaces every cut node under id's parent with the parent (a
+// range fill over the parent's subtree IDs) and returns the parent's ID.
+func (c *IndexedCut) Generalize(id int32) (int32, error) {
+	if id < 0 || !c.on[id] {
+		return -1, fmt.Errorf("hierarchy %s: %q is not on the cut", c.ix.h.Attr, c.ix.Value(id))
+	}
+	p := c.ix.par[id]
+	if p < 0 {
+		return -1, fmt.Errorf("hierarchy %s: cannot generalize the root", c.ix.h.Attr)
+	}
+	for j, end := p, p+c.ix.size[p]; j < end; j++ {
+		if c.on[j] {
+			c.num -= c.ix.NCPNum(j)
+			c.on[j] = false
+		}
+		c.anc[j] = p
+	}
+	c.on[p] = true
+	c.num += c.ix.NCPNum(p)
+	return p, nil
+}
+
+// ApplyTo rewrites cut's antichain to match this indexed cut, preserving
+// the caller-visible Cut identity (VPA evolves one Cut across several
+// repair passes).
+func (c *IndexedCut) ApplyTo(cut *Cut) {
+	cut.in = make(map[*Node]bool)
+	for id, on := range c.on {
+		if on {
+			cut.in[c.ix.nodes[id]] = true
+		}
+	}
+}

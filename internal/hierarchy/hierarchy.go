@@ -58,6 +58,9 @@ type Hierarchy struct {
 	// height is the maximum leaf depth; full-domain generalization levels
 	// range over 0..height.
 	height int
+	// index caches the dense-ID acceleration structure (see Index); edits
+	// clear it.
+	index indexCache
 }
 
 // Height returns the maximum generalization level (root level).
@@ -77,6 +80,7 @@ func (h *Hierarchy) Leaves() []string { return h.Root.Leaves() }
 
 // finalize computes depths, heights and leaf counts after construction.
 func (h *Hierarchy) finalize() {
+	h.invalidateIndex()
 	h.height = 0
 	var walk func(n *Node, depth int) int
 	walk = func(n *Node, depth int) int {
@@ -133,6 +137,33 @@ func (h *Hierarchy) LCA(a, b string) (*Node, error) {
 		nb = nb.Parent
 	}
 	return na, nil
+}
+
+// LCANodes returns the least common ancestor of two nodes of the same
+// hierarchy — LCA without the value lookups, for hot loops that already
+// hold node pointers.
+func LCANodes(a, b *Node) *Node {
+	for a.depth > b.depth {
+		a = a.Parent
+	}
+	for b.depth > a.depth {
+		b = b.Parent
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// NCPNode returns the Normalized Certainty Penalty of publishing n —
+// NCP without the value lookup, for hot loops that hold node pointers.
+func (h *Hierarchy) NCPNode(n *Node) float64 {
+	total := h.Root.leafCount
+	if total <= 1 {
+		return 0
+	}
+	return float64(n.leafCount-1) / float64(total-1)
 }
 
 // LCASet returns the least common ancestor of a non-empty value set.

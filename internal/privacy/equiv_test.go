@@ -1,0 +1,92 @@
+package privacy
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"secreta/internal/gen"
+	"secreta/internal/generalize"
+)
+
+// Equivalence pins: the interned hot paths must be observationally
+// identical to the seed string implementations preserved in
+// reference_test.go — same classes in the same order, same violations in
+// the same order — across generated datasets, generalized variants and
+// suppressed records.
+
+func TestPartitionMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		ds := gen.Census(gen.Config{Records: 400, Items: 12, Seed: seed})
+		qis, err := ds.QIIndices(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Suppress a few records so the skip path is exercised too.
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 10; i++ {
+			generalize.SuppressRecord(ds, qis, rng.Intn(ds.Len()))
+		}
+		for _, cols := range [][]int{qis, {0, 2}, {1}, {}} {
+			got := Partition(ds, cols)
+			want := referencePartition(ds, cols)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d qis %v: Partition diverged from reference (got %d classes, want %d)",
+					seed, cols, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestKMViolationsMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 9} {
+		for _, m := range []int{1, 2, 3} {
+			ds := gen.Census(gen.Config{Records: 300, Items: 30, MaxBasket: 7, Seed: seed})
+			trs := Transactions(ds, nil)
+			for _, k := range []int{2, 5} {
+				for _, limit := range []int{0, 3} {
+					got := KMViolations(trs, k, m, limit)
+					want := referenceKMViolations(trs, k, m, limit)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed=%d k=%d m=%d limit=%d: %d violations, want %d (or order diverged)",
+							seed, k, m, limit, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKMViolationsParallelDeterministic pins that the sharded scan returns
+// the same violations as the serial one: the transaction count is pushed
+// past the parallel threshold and GOMAXPROCS is raised so shards really
+// run, then compared against the reference.
+func TestKMViolationsParallelDeterministic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ds := gen.Census(gen.Config{Records: 3000, Items: 40, MaxBasket: 6, Seed: 3})
+	trs := Transactions(ds, nil)
+	if len(trs) < kmParallelMin {
+		t.Fatalf("fixture too small to engage sharding: %d transactions", len(trs))
+	}
+	got, err := KMViolationsCtx(context.Background(), trs, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceKMViolations(trs, 5, 2, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel scan diverged: %d violations, want %d", len(got), len(want))
+	}
+}
+
+func TestKMViolationsCtxCancelled(t *testing.T) {
+	ds := gen.Census(gen.Config{Records: 2000, Items: 40, Seed: 3})
+	trs := Transactions(ds, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := KMViolationsCtx(ctx, trs, 5, 3, 0); err == nil {
+		t.Fatal("cancelled scan returned no error")
+	}
+}

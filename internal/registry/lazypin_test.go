@@ -1,0 +1,117 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPinLazyReservesWithoutResidency is the lazy-pin contract on a
+// backed registry: the reservation blocks Remove while the bytes stay on
+// disk, resolve loads them on demand (surviving eviction in between), and
+// release frees both the reservation and the resolve-time pin.
+func TestPinLazyReservesWithoutResidency(t *testing.T) {
+	r := newBackedRegistry(t, t.TempDir(), 1, 0)
+	idA, _, err := r.Add(backedSample(t, 4, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve, release, err := r.PinLazy(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict A's bytes by adding another dataset (entry cap 1): the
+	// reservation must not keep the RAM copy alive.
+	idB, _, err := r.Add(backedSample(t, 4, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Describe(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Resident {
+		t.Fatal("reserved dataset still resident after eviction pressure")
+	}
+	// Reserved: cannot be removed, resident or not.
+	if err := r.Remove(idA); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Remove of reserved dataset: %v, want ErrPinned", err)
+	}
+	// Resolve loads from disk and pins.
+	ds, err := resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ds.Records); got != 4 {
+		t.Fatalf("resolved dataset has %d records, want 4", got)
+	}
+	if err := r.Remove(idA); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Remove of resolved dataset: %v, want ErrPinned", err)
+	}
+	// Release drops reservation and pin; Remove now succeeds.
+	release()
+	release() // idempotent
+	if err := r.Remove(idA); err != nil {
+		t.Fatalf("Remove after release: %v", err)
+	}
+	if err := r.Remove(idB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinLazyUnknownID(t *testing.T) {
+	r := newBackedRegistry(t, t.TempDir(), 4, 0)
+	if _, _, err := r.PinLazy("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("PinLazy of unknown id: %v, want ErrNotFound", err)
+	}
+}
+
+// TestPinLazyReleaseBeforeResolve pins the teardown race: a job cancelled
+// while queued releases its reservation before ever loading; a late
+// resolve must not hand out (or leak a pin on) the dataset.
+func TestPinLazyReleaseBeforeResolve(t *testing.T) {
+	r := newBackedRegistry(t, t.TempDir(), 2, 0)
+	id, _, err := r.Add(backedSample(t, 2, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve, release, err := r.PinLazy(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if _, err := resolve(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve after release: %v, want ErrNotFound", err)
+	}
+	// No pin may linger: the dataset is deletable.
+	if err := r.Remove(id); err != nil {
+		t.Fatalf("Remove after released resolve: %v", err)
+	}
+}
+
+// TestPinLazyMemoryOnlyIsEager pins the fallback: without a durable copy
+// the reservation must hold the bytes themselves, or eviction would lose
+// the only copy while the job waits in the queue.
+func TestPinLazyMemoryOnlyIsEager(t *testing.T) {
+	r := New(1, 0)
+	id, _, err := r.Add(backedSample(t, 3, "m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve, release, err := r.PinLazy(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Eviction pressure: the pinned dataset must survive (the newcomer
+	// overshoots the cap instead).
+	if _, _, err := r.Add(backedSample(t, 3, "other")); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 3 {
+		t.Fatalf("resolved %d records, want 3", len(ds.Records))
+	}
+}

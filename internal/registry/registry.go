@@ -76,14 +76,18 @@ type Registry struct {
 	lru      *LRU
 	maxBytes int64
 
-	// mu guards the durable index and the per-ID I/O gate. Disk I/O is
-	// never done under mu — a slow load of one dataset must not stall
-	// operations on every other; busy serializes disk operations per ID
-	// instead (and doubles as single-flight for concurrent pin-misses).
+	// mu guards the durable index, the per-ID I/O gate and the lazy-pin
+	// reservation counts. Disk I/O is never done under mu — a slow load of
+	// one dataset must not stall operations on every other; busy
+	// serializes disk operations per ID instead (and doubles as
+	// single-flight for concurrent pin-misses).
 	mu      sync.Mutex
 	backing Backing
 	meta    map[string]BackedDataset
 	busy    map[string]*sync.WaitGroup
+	// refs counts lazy-pin reservations (PinLazy): the dataset's index
+	// entry is held — Remove fails — but its bytes need not be resident.
+	refs map[string]int
 }
 
 // New builds a memory-only registry bounded by maxDatasets entries and
@@ -103,6 +107,7 @@ func NewBacked(maxDatasets int, maxBytes int64, b Backing) (*Registry, error) {
 	r.backing = b
 	r.meta = make(map[string]BackedDataset)
 	r.busy = make(map[string]*sync.WaitGroup)
+	r.refs = make(map[string]int)
 	list, err := b.List()
 	if err != nil {
 		return nil, fmt.Errorf("%w: indexing datasets: %v", ErrStore, err)
@@ -262,6 +267,84 @@ func (r *Registry) Pin(id string) (*dataset.Dataset, func(), error) {
 	return ds, r.releaseFunc(id), nil
 }
 
+// PinLazy reserves the dataset under id now but defers the byte load:
+// until release is called the dataset cannot be removed, yet its bytes
+// need not be resident — resolve loads (and RAM-pins) them on first call.
+// A queue of submitted jobs therefore holds index entries, not memory;
+// pinned RAM scales with the number of *running* jobs. On a memory-only
+// registry there is no durable copy to reload from, so PinLazy degrades
+// to an eager Pin (reserving only the index would let eviction drop the
+// sole copy while the job waits). release is idempotent and releases the
+// resolve pin too.
+func (r *Registry) PinLazy(id string) (resolve func() (*dataset.Dataset, error), release func(), err error) {
+	if r.backing == nil {
+		ds, rel, err := r.Pin(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func() (*dataset.Dataset, error) { return ds, nil }, rel, nil
+	}
+	// Existence check and reservation in one critical section: a Remove
+	// racing between them could delete a dataset this call just promised
+	// to hold (Remove checks refs under the same mu).
+	r.mu.Lock()
+	_, known := r.meta[id]
+	if !known && !r.lru.Contains(id) {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	r.refs[id]++
+	r.mu.Unlock()
+
+	var mu sync.Mutex
+	var inner func() // release of the resolve-time Pin
+	released := false
+	resolve = func() (*dataset.Dataset, error) {
+		ds, rel, err := r.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		if released {
+			// The job was torn down before (or while) the load finished;
+			// don't leak the fresh pin.
+			mu.Unlock()
+			rel()
+			return nil, fmt.Errorf("%w: %q (reservation released)", ErrNotFound, id)
+		}
+		if inner != nil {
+			// Double resolve: keep one pin.
+			mu.Unlock()
+			rel()
+			return ds, nil
+		}
+		inner = rel
+		mu.Unlock()
+		return ds, nil
+	}
+	release = func() {
+		mu.Lock()
+		if released {
+			mu.Unlock()
+			return
+		}
+		released = true
+		rel := inner
+		mu.Unlock()
+		if rel != nil {
+			rel()
+		}
+		r.mu.Lock()
+		if r.refs[id] <= 1 {
+			delete(r.refs, id)
+		} else {
+			r.refs[id]--
+		}
+		r.mu.Unlock()
+	}
+	return resolve, release, nil
+}
+
 // releaseFunc builds the idempotent unpin closure Pin hands out.
 func (r *Registry) releaseFunc(id string) func() {
 	released := false
@@ -293,6 +376,12 @@ func (r *Registry) Remove(id string) error {
 	if !known && !r.lru.Contains(id) {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if r.refs[id] > 0 {
+		// Lazily pinned by a queued job: the bytes may not be resident,
+		// but the dataset is spoken for all the same.
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrPinned, id)
 	}
 	if !r.lru.Remove(id) {
 		r.mu.Unlock()

@@ -53,49 +53,65 @@ type clusterState struct {
 	lca     []*hierarchy.Node
 }
 
+// recordNodes resolves every record's QI values to hierarchy nodes once,
+// so the O(n^2) absorption scans below run on pointers instead of map
+// lookups.
+func recordNodes(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy) ([][]*hierarchy.Node, error) {
+	out := make([][]*hierarchy.Node, len(ds.Records))
+	memo := make([]map[string]*hierarchy.Node, len(qis))
+	for i := range memo {
+		memo[i] = make(map[string]*hierarchy.Node)
+	}
+	for r := range ds.Records {
+		nodes := make([]*hierarchy.Node, len(qis))
+		for i, q := range qis {
+			v := ds.Records[r].Values[q]
+			node, ok := memo[i][v]
+			if !ok {
+				node = hh[i].Node(v)
+				if node == nil {
+					return nil, fmt.Errorf("cluster: hierarchy %q misses value %q", ds.Attrs[q].Name, v)
+				}
+				memo[i][v] = node
+			}
+			nodes[i] = node
+		}
+		out[r] = nodes
+	}
+	return out, nil
+}
+
 // costOfAdding computes the NCP increase of extending the cluster's LCAs to
 // cover record r, summed over attributes, along with the new LCA nodes.
-func costOfAdding(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, cl *clusterState, r int) (float64, []*hierarchy.Node, error) {
-	newLCA := make([]*hierarchy.Node, len(qis))
+// The scan is pure node arithmetic: LCA walks and O(1) NCP reads.
+func costOfAdding(recNodes [][]*hierarchy.Node, hh []*hierarchy.Hierarchy, cl *clusterState, r int) (float64, []*hierarchy.Node) {
+	newLCA := make([]*hierarchy.Node, len(cl.lca))
 	delta := 0.0
-	for i, q := range qis {
-		v := ds.Records[r].Values[q]
-		node, err := hh[i].LCA(cl.lca[i].Value, v)
-		if err != nil {
-			return 0, nil, err
-		}
+	for i := range cl.lca {
+		node := hierarchy.LCANodes(cl.lca[i], recNodes[r][i])
 		newLCA[i] = node
-		oldNCP, err := hh[i].NCP(cl.lca[i].Value)
-		if err != nil {
-			return 0, nil, err
-		}
-		newNCP, err := hh[i].NCP(node.Value)
-		if err != nil {
-			return 0, nil, err
-		}
-		delta += newNCP - oldNCP
+		delta += hh[i].NCPNode(node) - hh[i].NCPNode(cl.lca[i])
 	}
-	return delta, newLCA, nil
+	return delta, newLCA
 }
 
 func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, opts Options) ([]*clusterState, error) {
 	k := opts.K
 	n := len(ds.Records)
+	recNodes, err := recordNodes(ds, qis, hh)
+	if err != nil {
+		return nil, err
+	}
 	unassigned := make([]bool, n)
 	remaining := n
 	for i := range unassigned {
 		unassigned[i] = true
 	}
-	newCluster := func(seed int) (*clusterState, error) {
-		lca := make([]*hierarchy.Node, len(qis))
-		for i, q := range qis {
-			node := hh[i].Node(ds.Records[seed].Values[q])
-			if node == nil {
-				return nil, fmt.Errorf("cluster: hierarchy %q misses value %q", ds.Attrs[q].Name, ds.Records[seed].Values[q])
-			}
-			lca[i] = node
+	newCluster := func(seed int) *clusterState {
+		return &clusterState{
+			members: []int{seed},
+			lca:     append([]*hierarchy.Node(nil), recNodes[seed]...),
 		}
-		return &clusterState{members: []int{seed}, lca: lca}, nil
 	}
 
 	var clusters []*clusterState
@@ -105,10 +121,7 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 			next++
 		}
 		seed := next
-		cl, err := newCluster(seed)
-		if err != nil {
-			return nil, err
-		}
+		cl := newCluster(seed)
 		unassigned[seed] = false
 		remaining--
 		for len(cl.members) < k {
@@ -124,10 +137,7 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 				if !unassigned[r] {
 					continue
 				}
-				cost, lca, err := costOfAdding(ds, qis, hh, cl, r)
-				if err != nil {
-					return nil, err
-				}
+				cost, lca := costOfAdding(recNodes, hh, cl, r)
 				if bestR < 0 || cost < bestCost {
 					bestR, bestCost, bestLCA = r, cost, lca
 					if cost == 0 {
@@ -157,10 +167,7 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 		bestCost := 0.0
 		var bestLCA []*hierarchy.Node
 		for ci, cl := range clusters {
-			cost, lca, err := costOfAdding(ds, qis, hh, cl, r)
-			if err != nil {
-				return nil, err
-			}
+			cost, lca := costOfAdding(recNodes, hh, cl, r)
 			if bestC < 0 || cost < bestCost {
 				bestC, bestCost, bestLCA = ci, cost, lca
 			}
@@ -168,11 +175,7 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 		if bestC < 0 {
 			// No cluster exists (n < k was rejected; n == 0 cannot reach
 			// here). Defensive: make a singleton cluster.
-			cl, err := newCluster(r)
-			if err != nil {
-				return nil, err
-			}
-			clusters = append(clusters, cl)
+			clusters = append(clusters, newCluster(r))
 			unassigned[r] = false
 			continue
 		}

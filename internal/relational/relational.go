@@ -9,7 +9,6 @@ package relational
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"secreta/internal/dataset"
 	"secreta/internal/generalize"
@@ -95,63 +94,110 @@ func (o *Options) interrupted() error {
 	return o.Ctx.Err()
 }
 
-// projector maps a record index to its (generalized) QI signature.
-type projector func(r int) string
+// projector maps a record index to a packed, injective key of its
+// (generalized) QI signature. The returned slice is reused across calls:
+// callers must consume it (hash it, compare it) before the next call.
+// Keys are tuples of dense per-column IDs interned as generalized values
+// are first seen — no per-record string building, no per-record
+// allocation.
+type projector func(r int) []byte
+
+// columnMemo interns one column's value -> generalized-value translations
+// to dense IDs: the translation runs once per distinct original value,
+// and records carry 4-byte IDs from then on.
+type columnMemo struct {
+	ids  map[string]uint32 // original value -> dense generalized ID
+	gids map[string]uint32 // generalized value -> dense ID (dedup across originals)
+}
+
+func newColumnMemo() *columnMemo {
+	return &columnMemo{ids: make(map[string]uint32), gids: make(map[string]uint32)}
+}
+
+// id resolves an original value through translate, memoized.
+func (m *columnMemo) id(v string, translate func(string) string) uint32 {
+	if id, ok := m.ids[v]; ok {
+		return id
+	}
+	g := translate(v)
+	id, ok := m.gids[g]
+	if !ok {
+		id = uint32(len(m.gids))
+		m.gids[g] = id
+	}
+	m.ids[v] = id
+	return id
+}
+
+// keyProjector assembles a projector from per-column translators.
+func keyProjector(ds *dataset.Dataset, qis []int, translate []func(string) string) projector {
+	memos := make([]*columnMemo, len(qis))
+	for i := range memos {
+		memos[i] = newColumnMemo()
+	}
+	buf := make([]byte, 4*len(qis))
+	return func(r int) []byte {
+		for i, q := range qis {
+			id := memos[i].id(ds.Records[r].Values[q], translate[i])
+			buf[4*i] = byte(id >> 24)
+			buf[4*i+1] = byte(id >> 16)
+			buf[4*i+2] = byte(id >> 8)
+			buf[4*i+3] = byte(id)
+		}
+		return buf
+	}
+}
 
 // levelProjector builds a projector that generalizes each QI to the given
 // level, memoizing value translations.
 func levelProjector(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, levels []int) (projector, error) {
-	memo := make([]map[string]string, len(qis))
-	for i := range memo {
-		memo[i] = make(map[string]string)
-	}
-	var sb strings.Builder
-	return func(r int) string {
-		sb.Reset()
-		for i, q := range qis {
-			v := ds.Records[r].Values[q]
-			g, ok := memo[i][v]
-			if !ok {
-				var err error
-				g, err = hh[i].GeneralizeLevels(v, levels[i])
-				if err != nil {
-					// validate() guarantees all values are known.
-					g = v
-				}
-				memo[i][v] = g
+	translate := make([]func(string) string, len(qis))
+	for i := range qis {
+		h, lvl := hh[i], levels[i]
+		translate[i] = func(v string) string {
+			g, err := h.GeneralizeLevels(v, lvl)
+			if err != nil {
+				// validate() guarantees all values are known.
+				return v
 			}
-			sb.WriteString(g)
-			sb.WriteByte('\x00')
+			return g
 		}
-		return sb.String()
-	}, nil
+	}
+	return keyProjector(ds, qis, translate), nil
 }
 
 // cutProjector builds a projector that maps each QI through its cut.
 func cutProjector(ds *dataset.Dataset, qis []int, cuts []*hierarchy.Cut) projector {
-	memo := make([]map[string]string, len(qis))
-	for i := range memo {
-		memo[i] = make(map[string]string)
-	}
-	var sb strings.Builder
-	return func(r int) string {
-		sb.Reset()
-		for i, q := range qis {
-			v := ds.Records[r].Values[q]
-			g, ok := memo[i][v]
-			if !ok {
-				var err error
-				g, err = cuts[i].Map(v)
-				if err != nil {
-					g = v
-				}
-				memo[i][v] = g
+	translate := make([]func(string) string, len(qis))
+	for i := range qis {
+		c := cuts[i]
+		translate[i] = func(v string) string {
+			g, err := c.Map(v)
+			if err != nil {
+				return v
 			}
-			sb.WriteString(g)
-			sb.WriteByte('\x00')
+			return g
 		}
-		return sb.String()
 	}
+	return keyProjector(ds, qis, translate)
+}
+
+// classCounts tallies equivalence-class sizes under the projector: a
+// two-step map lookup keeps the per-record path allocation-free (keys are
+// copied only when a new class appears).
+func classCounts(n int, proj projector) []int {
+	index := make(map[string]int)
+	var counts []int
+	for r := 0; r < n; r++ {
+		key := proj(r)
+		if i, ok := index[string(key)]; ok {
+			counts[i]++
+		} else {
+			index[string(key)] = len(counts)
+			counts = append(counts, 1)
+		}
+	}
+	return counts
 }
 
 // suppressionNeeded counts the records falling in equivalence classes
@@ -161,15 +207,8 @@ func cutProjector(ds *dataset.Dataset, qis []int, cuts []*hierarchy.Cut) project
 // specialization, which keeps Incognito's prunings valid with a
 // suppression budget.
 func suppressionNeeded(n, k int, proj projector) int {
-	if n == 0 {
-		return 0
-	}
-	counts := make(map[string]int)
-	for r := 0; r < n; r++ {
-		counts[proj(r)]++
-	}
 	needed := 0
-	for _, c := range counts {
+	for _, c := range classCounts(n, proj) {
 		if c < k {
 			needed += c
 		}
@@ -183,12 +222,8 @@ func minClassSize(n int, proj projector) int {
 	if n == 0 {
 		return 0
 	}
-	counts := make(map[string]int)
-	for r := 0; r < n; r++ {
-		counts[proj(r)]++
-	}
 	min := n
-	for _, c := range counts {
+	for _, c := range classCounts(n, proj) {
 		if c < min {
 			min = c
 		}

@@ -143,9 +143,29 @@ type Result struct {
 type cluster struct {
 	records []int
 	relVals []string // generalized QI values, aligned with qis
-	items   [][]string
-	clean   bool // no further merge processing needed
-	merges  int  // merge-chain length, bounded by maxMergeChain
+	// relNodes caches the hierarchy nodes of relVals so the O(clusters^2)
+	// merge scoring runs on pointers (LCA walks, O(1) NCP) instead of
+	// per-pair value lookups. nil when a signature value is unknown to its
+	// hierarchy; such clusters never merge (mirroring the old per-pair
+	// lookup error).
+	relNodes []*hierarchy.Node
+	items    [][]string
+	clean    bool // no further merge processing needed
+	merges   int  // merge-chain length, bounded by maxMergeChain
+}
+
+// resolveNodes caches the cluster signature's hierarchy nodes.
+func (c *cluster) resolveNodes(hh []*hierarchy.Hierarchy) {
+	nodes := make([]*hierarchy.Node, len(c.relVals))
+	for i, v := range c.relVals {
+		n := hh[i].Node(v)
+		if n == nil {
+			c.relNodes = nil
+			return
+		}
+		nodes[i] = n
+	}
+	c.relNodes = nodes
 }
 
 // maxMergeChain bounds how many merges one cluster may absorb; beyond it
@@ -193,7 +213,7 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 	sw.Mark("relational")
 
-	clusters := clustersFromClasses(ds, relRes.Anonymized, qis)
+	clusters := clustersFromClasses(ds, relRes.Anonymized, qis, hh)
 	merges := 0
 	for {
 		// One traversal iteration scans clusters and scores merge
@@ -333,11 +353,12 @@ func transactionByName(name string) (func(*dataset.Dataset, transaction.Options)
 
 // clustersFromClasses rebuilds cluster state from the relational phase's
 // equivalence classes.
-func clustersFromClasses(orig, anon *dataset.Dataset, qis []int) []*cluster {
+func clustersFromClasses(orig, anon *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy) []*cluster {
 	classes := privacy.Partition(anon, qis)
 	out := make([]*cluster, len(classes))
 	for i, cl := range classes {
 		c := &cluster{records: append([]int(nil), cl.Records...), relVals: cl.Signature}
+		c.resolveNodes(hh)
 		c.items = itemsOf(orig, c.records)
 		out[i] = c
 	}
@@ -364,33 +385,25 @@ func nonEmpty(items [][]string) [][]string {
 
 // relDelta computes the average per-attribute NCP increase of merging two
 // clusters: NCP(LCA of both signatures) minus the size-weighted current
-// NCP.
-func relDelta(a, b *cluster, hh []*hierarchy.Hierarchy) (float64, []string, error) {
-	newVals := make([]string, len(a.relVals))
+// NCP. Runs on the clusters' cached signature nodes — LCA walks and O(1)
+// NCP reads, no value lookups.
+func relDelta(a, b *cluster, hh []*hierarchy.Hierarchy) (float64, []*hierarchy.Node, error) {
+	if a.relNodes == nil || b.relNodes == nil {
+		return 0, nil, fmt.Errorf("rt: cluster signature unknown to hierarchy")
+	}
+	newNodes := make([]*hierarchy.Node, len(a.relNodes))
 	delta := 0.0
 	na, nb := float64(len(a.records)), float64(len(b.records))
 	for i, h := range hh {
-		lca, err := h.LCA(a.relVals[i], b.relVals[i])
-		if err != nil {
-			return 0, nil, err
-		}
-		newVals[i] = lca.Value
-		newNCP, err := h.NCP(lca.Value)
-		if err != nil {
-			return 0, nil, err
-		}
-		aNCP, err := h.NCP(a.relVals[i])
-		if err != nil {
-			return 0, nil, err
-		}
-		bNCP, err := h.NCP(b.relVals[i])
-		if err != nil {
-			return 0, nil, err
-		}
+		lca := hierarchy.LCANodes(a.relNodes[i], b.relNodes[i])
+		newNodes[i] = lca
+		newNCP := h.NCPNode(lca)
+		aNCP := h.NCPNode(a.relNodes[i])
+		bNCP := h.NCPNode(b.relNodes[i])
 		cur := (aNCP*na + bNCP*nb) / (na + nb)
 		delta += newNCP - cur
 	}
-	return delta / float64(len(hh)), newVals, nil
+	return delta / float64(len(hh)), newNodes, nil
 }
 
 // transCost estimates the transaction-side repair work remaining after
@@ -484,11 +497,16 @@ func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Opt
 // per-attribute LCA. Cluster j's slot becomes nil.
 func mergeClusters(clusters []*cluster, i, j int, hh []*hierarchy.Hierarchy) {
 	a, b := clusters[i], clusters[j]
-	_, newVals, err := relDelta(a, b, hh)
+	_, newNodes, err := relDelta(a, b, hh)
 	if err != nil {
 		return
 	}
+	newVals := make([]string, len(newNodes))
+	for i, n := range newNodes {
+		newVals[i] = n.Value
+	}
 	a.relVals = newVals
+	a.relNodes = newNodes
 	a.records = append(a.records, b.records...)
 	a.items = append(a.items, b.items...)
 	a.clean = false

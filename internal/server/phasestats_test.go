@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"secreta/internal/timing"
+)
+
+func TestPhaseStatsPercentiles(t *testing.T) {
+	p := newPhaseStats()
+	for i := 1; i <= 100; i++ {
+		p.record([]timing.Phase{{Name: "relational", Duration: time.Duration(i) * time.Millisecond}})
+	}
+	view := p.snapshot()["relational"]
+	if view.Count != 100 {
+		t.Fatalf("count = %d, want 100", view.Count)
+	}
+	if view.P50ms != 50 {
+		t.Errorf("p50 = %v ms, want 50", view.P50ms)
+	}
+	if view.P95ms != 95 {
+		t.Errorf("p95 = %v ms, want 95", view.P95ms)
+	}
+}
+
+func TestPhaseStatsWindowBounded(t *testing.T) {
+	p := newPhaseStats()
+	for i := 0; i < 3*phaseWindow; i++ {
+		p.record([]timing.Phase{{Name: "merge", Duration: time.Millisecond}})
+	}
+	p.mu.Lock()
+	n := len(p.samples["merge"])
+	p.mu.Unlock()
+	if n != phaseWindow {
+		t.Fatalf("ring holds %d samples, want %d", n, phaseWindow)
+	}
+	if got := p.snapshot()["merge"].Count; got != int64(3*phaseWindow) {
+		t.Fatalf("total count = %d, want %d", got, 3*phaseWindow)
+	}
+}
+
+// TestStatsExposesPhaseTimings drives a real (uncached) job through the
+// server and checks the end-to-end satellite: GET /stats carries per-phase
+// p50/p95 aggregated from the run's timing.Phases.
+func TestStatsExposesPhaseTimings(t *testing.T) {
+	ts := httptest.NewServer(mustNew(t, context.Background(), Options{Workers: 2}).Handler())
+	t.Cleanup(ts.Close)
+
+	raw, _ := patientsJSON(t)
+	_, sub := postJSON(t, ts.URL+"/evaluate", map[string]any{
+		"dataset": raw,
+		"config":  map[string]any{"algo": "apriori", "k": 2, "m": 1},
+	})
+	job := sub["job"].(string)
+	if st := pollDone(t, ts.URL, job); st != StatusDone {
+		t.Fatalf("job ended %s, want done", st)
+	}
+	code, body := getJSON(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: code=%d", code)
+	}
+	phases, ok := body["phases"].(map[string]any)
+	if !ok || len(phases) == 0 {
+		t.Fatalf("stats has no phase aggregates: %v", body["phases"])
+	}
+	for name, v := range phases {
+		pv := v.(map[string]any)
+		if pv["count"].(float64) < 1 {
+			t.Errorf("phase %q count = %v, want >= 1", name, pv["count"])
+		}
+		if pv["p50_ms"].(float64) < 0 || pv["p95_ms"].(float64) < pv["p50_ms"].(float64) {
+			t.Errorf("phase %q percentiles inconsistent: %v", name, pv)
+		}
+	}
+}

@@ -130,11 +130,11 @@ func slowBasketsJSON(t *testing.T) json.RawMessage {
 	// and Apriori only looks at the transaction side anyway.
 	ds := dataset.New([]dataset.Attribute{{Name: "grp", Kind: dataset.Categorical}}, "items")
 	rng := rand.New(rand.NewSource(4))
-	for r := 0; r < 2000; r++ {
-		seen := make(map[int]bool, 10)
+	for r := 0; r < 4000; r++ {
+		seen := make(map[int]bool, 12)
 		var items []string
-		for len(items) < 10 {
-			it := rng.Intn(150)
+		for len(items) < 12 {
+			it := rng.Intn(400)
 			if !seen[it] {
 				seen[it] = true
 				items = append(items, fmt.Sprintf("i%04d", it))
@@ -168,7 +168,7 @@ func TestPinnedDatasetSurvivesJobLifecycle(t *testing.T) {
 
 	_, sub := postJSON(t, ts.URL+"/anonymize", map[string]any{
 		"dataset_ref": ref,
-		"config":      map[string]any{"algo": "apriori", "k": 30, "m": 2},
+		"config":      map[string]any{"algo": "apriori", "k": 40, "m": 2},
 	})
 	job := sub["job"].(string)
 

@@ -110,6 +110,7 @@ type Server struct {
 	cache    *engine.Cache
 	registry *registry.Registry
 	st       *store.Store // nil: memory-only
+	phases   *phaseStats
 	baseCtx  context.Context
 	// ready gates traffic: false while WAL replay re-populates the job
 	// table. Memory-only servers are born ready.
@@ -181,6 +182,7 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 		cache:       cache,
 		registry:    reg,
 		st:          opts.Store,
+		phases:      newPhaseStats(),
 		baseCtx:     ctx,
 		slots:       make(chan struct{}, opts.MaxConcurrentJobs),
 		uploadSlots: make(chan struct{}, opts.MaxConcurrentJobs),
@@ -385,12 +387,15 @@ func decodeDataset(raw json.RawMessage) (*dataset.Dataset, error) {
 
 // resolveDataset turns a request's dataset fields into a loader. Exactly
 // one of raw (inline rows) and ref (an ID from POST /datasets) must be
-// set. A ref is resolved and pinned immediately — before the job is even
-// admitted — so registry eviction cannot remove the dataset between
-// submission and execution; the returned release (idempotent, never nil)
-// must be called when the job finishes or the submission is rejected.
-// Inline payloads decode lazily inside the job, under admission control,
-// so unadmitted requests cannot spend decode CPU.
+// set. A ref is reserved immediately — before the job is even admitted —
+// so the dataset cannot be deleted between submission and execution, but
+// its bytes are loaded (and RAM-pinned) only when the job starts: with a
+// durable backing, a deep queue of submissions holds index entries, not
+// dataset memory, so pinned RAM scales with -max-concurrent rather than
+// queue depth. The returned release (idempotent, never nil) must be
+// called when the job finishes or the submission is rejected. Inline
+// payloads decode lazily inside the job, under admission control, so
+// unadmitted requests cannot spend decode CPU.
 func (s *Server) resolveDataset(raw json.RawMessage, ref string) (load func() (*dataset.Dataset, error), release func(), err error) {
 	inline := hasDataset(raw)
 	switch {
@@ -401,11 +406,7 @@ func (s *Server) resolveDataset(raw json.RawMessage, ref string) (load func() (*
 	case inline:
 		return func() (*dataset.Dataset, error) { return decodeDataset(raw) }, func() {}, nil
 	}
-	ds, release, err := s.registry.Pin(ref)
-	if err != nil {
-		return nil, nil, err
-	}
-	return func() (*dataset.Dataset, error) { return ds, nil }, release, nil
+	return s.registry.PinLazy(ref)
 }
 
 // datasetError writes the right status for a dataset resolution failure:
@@ -629,6 +630,11 @@ func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, load fu
 	if item.Result.Err != nil {
 		return nil, false, item.Result.Err
 	}
+	if !item.CacheHit {
+		// Fold the measured phase breakdown into the /stats aggregates; a
+		// cache hit replays stored timings and would skew the percentiles.
+		s.phases.record(item.Result.Phases)
+	}
 	return item.Result, item.CacheHit, nil
 }
 
@@ -845,6 +851,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cache":    s.cache.Stats(),
 		"registry": s.registry.Stats(),
 		"jobs":     s.jobs.counts(),
+		"phases":   s.phases.snapshot(),
 	}
 	if s.st != nil {
 		out["store"] = s.st.Stats()

@@ -11,9 +11,9 @@ import (
 // anonymizations survive a restart. Keys are the engine's content cache
 // keys (dataset fingerprint + config digest, '/'-joined); file names are
 // their SHA-256 so any key is a safe single-segment name. The directory
-// is bounded by entry and byte caps, trimmed oldest-first after each
-// save — unlike the RAM caches these are package defaults, not operator
-// flags.
+// is bounded by entry and byte caps (operator-tunable through
+// secreta-serve's -disk-cache-entries / -disk-cache-bytes, defaulting to
+// the package constants), trimmed oldest-first after each save.
 type CacheStore struct {
 	blobs      *BlobDir
 	maxEntries int
@@ -84,3 +84,8 @@ func (c *CacheStore) LoadResult(key string) ([]byte, error) {
 
 // Stats reports the cache directory's occupancy.
 func (c *CacheStore) Stats() BlobStats { return c.blobs.Stats() }
+
+// Caps reports the configured entry and byte bounds, for /stats.
+func (c *CacheStore) Caps() (maxEntries int, maxBytes int64) {
+	return c.maxEntries, c.maxBytes
+}

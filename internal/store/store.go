@@ -29,10 +29,10 @@ import (
 	"time"
 )
 
-// Disk result-cache bounds: unlike the in-RAM caches these are not
-// operator flags (one less knob to mis-set); they exist only to keep a
-// long-lived data directory from growing without bound. Oldest entries
-// (by modification time) are trimmed past either cap.
+// Default disk result-cache bounds, used when the operator does not tune
+// -disk-cache-entries / -disk-cache-bytes; they keep a long-lived data
+// directory from growing without bound. Oldest entries (by modification
+// time) are trimmed past either cap.
 const (
 	DefaultDiskCacheEntries = 4096
 	DefaultDiskCacheBytes   = 2 << 30 // 2 GiB of serialized results
@@ -129,12 +129,16 @@ type BlobStats struct {
 }
 
 // Stats is a point-in-time snapshot of the store's disk occupancy and
-// journal health, surfaced on GET /stats.
+// journal health, surfaced on GET /stats. The result-cache caps ride
+// along so operators can see the configured -disk-cache-entries /
+// -disk-cache-bytes bounds next to the occupancy they govern.
 type Stats struct {
-	Datasets    BlobStats    `json:"datasets"`
-	Results     BlobStats    `json:"results"`
-	ResultCache BlobStats    `json:"result_cache"`
-	Journal     JournalStats `json:"journal"`
+	Datasets            BlobStats    `json:"datasets"`
+	Results             BlobStats    `json:"results"`
+	ResultCache         BlobStats    `json:"result_cache"`
+	ResultCacheMaxCount int          `json:"result_cache_max_count"`
+	ResultCacheMaxBytes int64        `json:"result_cache_max_bytes"`
+	Journal             JournalStats `json:"journal"`
 }
 
 // Stats snapshots the journal counters and the blob-directory occupancy
@@ -148,10 +152,13 @@ func (s *Store) Stats() Stats {
 	}
 	blobs := s.statsBlobs
 	s.statsMu.Unlock()
+	maxEntries, maxBytes := s.Cache.Caps()
 	return Stats{
-		Datasets:    blobs[0],
-		Results:     blobs[1],
-		ResultCache: blobs[2],
-		Journal:     s.Journal.Stats(),
+		Datasets:            blobs[0],
+		Results:             blobs[1],
+		ResultCache:         blobs[2],
+		ResultCacheMaxCount: maxEntries,
+		ResultCacheMaxBytes: maxBytes,
+		Journal:             s.Journal.Stats(),
 	}
 }

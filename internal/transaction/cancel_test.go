@@ -41,9 +41,11 @@ func randomBaskets(t testing.TB, records, domain, basket int, seed int64) *datas
 // TestAprioriCancellationPromptness pins the service's cancellation
 // budget: cancelling a multi-second Apriori run mid-algorithm must return
 // within 250ms (the checks sit in the repair loop and inside the k^m
-// violation scan). Without Options.Ctx the same run takes ~8s.
+// support scans). The fixture is sized for the incremental interned loop:
+// a wide uniform domain at m=3 keeps even the incremental scan busy for
+// seconds (the seed's from-scratch loop took ~8s on a far smaller set).
 func TestAprioriCancellationPromptness(t *testing.T) {
-	ds := randomBaskets(t, 4000, 200, 12, 11)
+	ds := randomBaskets(t, 3000, 200, 14, 11)
 	ih, err := gen.ItemHierarchy(ds, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +58,7 @@ func TestAprioriCancellationPromptness(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		_, err := Apriori(ds, Options{Ctx: ctx, K: 40, M: 2, ItemHierarchy: ih})
+		_, err := Apriori(ds, Options{Ctx: ctx, K: 30, M: 3, ItemHierarchy: ih})
 		done <- outcome{err: err, at: time.Now()}
 	}()
 	// Let the run get well into its repair rounds, then pull the plug.

@@ -26,6 +26,7 @@ func COAT(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 	domain := ds.ItemDomain()
 	groups := newGroupTable(domain)
+	recRanks := recordRanks(ds, groups)
 	uidx := opts.Policy.UtilityIndex()
 	sw.Mark("setup")
 
@@ -38,7 +39,7 @@ func COAT(ds *dataset.Dataset, opts Options) (*Result, error) {
 			if err := opts.interrupted(); err != nil {
 				return nil, err
 			}
-			published := publishedSets(ds, groups)
+			published := publishedGroups(recRanks, groups)
 			sup, protected := constraintSupport(published, groups, c)
 			if protected || sup == 0 || sup >= opts.K {
 				break
@@ -49,11 +50,11 @@ func COAT(ds *dataset.Dataset, opts Options) (*Result, error) {
 			victim := ""
 			victimSup := -1
 			for _, it := range c.Items {
-				l := groups.label(it)
-				if l == "" {
+				gi, ok := groups.gid(it)
+				if !ok || groups.dead[gi] {
 					continue
 				}
-				s := labelSupport(published, l)
+				s := gidSupport(published, gi)
 				if victim == "" || s < victimSup {
 					victim, victimSup = it, s
 				}
@@ -72,16 +73,18 @@ func COAT(ds *dataset.Dataset, opts Options) (*Result, error) {
 			}
 			partner := ""
 			bestCost := 0.0
+			vgid, _ := groups.gid(victim)
 			vsize := groups.size(victim)
 			for _, cand := range opts.Policy.Utility[ui].Items {
-				if groups.group[cand] == groups.group[victim] || groups.dead[groups.group[cand]] {
+				cgid, ok := groups.gid(cand)
+				if !ok || cgid == vgid || groups.dead[cgid] {
 					continue
 				}
 				// UL-style cost: exponential in the merged group size,
 				// weighted by the partner group's support (merging a
 				// popular group dilutes more occurrences).
 				msize := vsize + groups.size(cand)
-				cost := pow2f(msize) * float64(labelSupport(published, groups.label(cand)))
+				cost := pow2f(msize) * float64(gidSupport(published, cgid))
 				if partner == "" || cost < bestCost {
 					partner, bestCost = cand, cost
 				}
@@ -107,17 +110,6 @@ func COAT(ds *dataset.Dataset, opts Options) (*Result, error) {
 		Suppressed:      groups.suppressed(),
 		Generalizations: gens,
 	}, nil
-}
-
-// labelSupport counts transactions whose published set contains the label.
-func labelSupport(published [][]map[string]bool, label string) int {
-	n := 0
-	for _, tr := range published {
-		if tr[0][label] {
-			n++
-		}
-	}
-	return n
 }
 
 func pow2f(k int) float64 {

@@ -1,0 +1,116 @@
+package transaction
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secreta/internal/dataset"
+	"secreta/internal/policy"
+)
+
+// The dense group-ID published sets must agree with the seed's label-set
+// model: distinct live groups have distinct labels, so group-ID support
+// and label support are the same number. This drives the group table
+// through random merge/suppress churn and cross-checks support queries
+// against a straightforward string-label reimplementation at every step.
+func TestPublishedGroupsMatchLabelModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	domain := make([]string, 20)
+	for i := range domain {
+		domain[i] = fmt.Sprintf("i%02d", i)
+	}
+	ds := dataset.New(nil, "items")
+	for r := 0; r < 120; r++ {
+		var items []string
+		for _, it := range domain {
+			if rng.Intn(3) == 0 {
+				items = append(items, it)
+			}
+		}
+		if err := ds.AddRecord(dataset.Record{Items: items}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := newGroupTable(domain)
+	recRanks := recordRanks(ds, g)
+
+	labelSupport := func(label string) int {
+		n := 0
+		for r := range ds.Records {
+			for _, it := range ds.Records[r].Items {
+				if g.label(it) == label {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	check := func(step int) {
+		published := publishedGroups(recRanks, g)
+		for _, it := range domain {
+			gi, ok := g.gid(it)
+			if !ok {
+				t.Fatalf("step %d: domain item %q lost its rank", step, it)
+			}
+			if g.dead[gi] {
+				continue
+			}
+			if got, want := gidSupport(published, gi), labelSupport(g.label(it)); got != want {
+				t.Fatalf("step %d: support of %q = %d, want %d", step, it, got, want)
+			}
+		}
+		// Random constraints: support by group IDs == support by labels.
+		for trial := 0; trial < 10; trial++ {
+			items := []string{domain[rng.Intn(len(domain))], domain[rng.Intn(len(domain))]}
+			c := policy.PrivacyConstraint{Items: items}
+			sup, protected := constraintSupport(published, g, c)
+			wantProtected := false
+			for _, it := range items {
+				if g.label(it) == "" {
+					wantProtected = true
+				}
+			}
+			if protected != wantProtected {
+				t.Fatalf("step %d: constraint %v protected=%v, want %v", step, items, protected, wantProtected)
+			}
+			if protected {
+				continue
+			}
+			want := 0
+			for r := range ds.Records {
+				all := true
+				for _, it := range items {
+					found := false
+					for _, rec := range ds.Records[r].Items {
+						if g.label(rec) == g.label(it) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						all = false
+						break
+					}
+				}
+				if all {
+					want++
+				}
+			}
+			if sup != want {
+				t.Fatalf("step %d: constraint %v support = %d, want %d", step, items, sup, want)
+			}
+		}
+	}
+	check(0)
+	for step := 1; step <= 30; step++ {
+		a, b := domain[rng.Intn(len(domain))], domain[rng.Intn(len(domain))]
+		if step%7 == 0 {
+			g.suppress(a)
+		} else {
+			g.merge(a, b)
+		}
+		check(step)
+	}
+}

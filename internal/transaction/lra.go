@@ -37,13 +37,15 @@ func LRA(ds *dataset.Dataset, opts Options) (*Result, error) {
 		parts = 1
 	}
 	// Sort record indices by basket content so similar baskets co-locate.
+	// The join keys are precomputed once — building them inside the
+	// comparator would re-join O(n log n) times.
 	idx := make([]int, n)
+	keys := make([]string, n)
 	for i := range idx {
 		idx[i] = i
+		keys[i] = strings.Join(ds.Records[i].Items, "\x00")
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return strings.Join(ds.Records[idx[a]].Items, "\x00") < strings.Join(ds.Records[idx[b]].Items, "\x00")
-	})
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
 	sw.Mark("partition")
 
 	anon := ds.Clone()

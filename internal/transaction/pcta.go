@@ -25,6 +25,7 @@ func PCTA(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 	domain := ds.ItemDomain()
 	groups := newGroupTable(domain)
+	recRanks := recordRanks(ds, groups)
 	uidx := opts.Policy.UtilityIndex()
 	hasUtility := len(opts.Policy.Utility) > 0
 	sw.Mark("setup")
@@ -34,7 +35,7 @@ func PCTA(ds *dataset.Dataset, opts Options) (*Result, error) {
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
-		published := publishedSets(ds, groups)
+		published := publishedGroups(recRanks, groups)
 		// Find the most violated constraint.
 		worst := -1
 		worstSup := 0
@@ -56,7 +57,8 @@ func PCTA(ds *dataset.Dataset, opts Options) (*Result, error) {
 		bestA, bestB := "", ""
 		bestCost := 0.0
 		for _, it := range c.Items {
-			if groups.label(it) == "" {
+			igid, ok := groups.gid(it)
+			if !ok || groups.dead[igid] {
 				continue
 			}
 			var candidates []string
@@ -69,12 +71,14 @@ func PCTA(ds *dataset.Dataset, opts Options) (*Result, error) {
 			} else {
 				candidates = domain
 			}
+			isize := groups.size(it)
 			for _, cand := range candidates {
-				if groups.group[cand] == groups.group[it] || groups.dead[groups.group[cand]] {
+				cgid, ok := groups.gid(cand)
+				if !ok || cgid == igid || groups.dead[cgid] {
 					continue
 				}
-				msize := groups.size(it) + groups.size(cand)
-				cost := pow2f(msize) * float64(labelSupport(published, groups.label(cand)))
+				msize := isize + groups.size(cand)
+				cost := pow2f(msize) * float64(gidSupport(published, cgid))
 				if bestA == "" || cost < bestCost {
 					bestA, bestB, bestCost = it, cand, cost
 				}
@@ -86,11 +90,11 @@ func PCTA(ds *dataset.Dataset, opts Options) (*Result, error) {
 			victim := ""
 			victimSup := -1
 			for _, it := range c.Items {
-				l := groups.label(it)
-				if l == "" {
+				gi, ok := groups.gid(it)
+				if !ok || groups.dead[gi] {
 					continue
 				}
-				s := labelSupport(published, l)
+				s := gidSupport(published, gi)
 				if victim == "" || s < victimSup {
 					victim, victimSup = it, s
 				}

@@ -119,26 +119,46 @@ func labelFor(items []string) string {
 	return "(" + strings.Join(items, ",") + ")"
 }
 
-// groupTable tracks the item -> group mapping of COAT/PCTA.
+// groupTable tracks the item -> group mapping of COAT/PCTA on dense IDs:
+// every domain item gets a fixed rank, the rank -> group table is a flat
+// array, and liveness is a bitmap — so the published-set rebuilds that
+// dominate both algorithms do integer reads instead of map walks.
 type groupTable struct {
-	group map[string]int // item -> group index
-	items [][]string     // group index -> sorted member items
-	dead  map[int]bool   // suppressed groups
+	rank      map[string]int // item -> fixed domain rank
+	itemGroup []int32        // rank -> current group index
+	items     [][]string     // group index -> sorted member items
+	dead      []bool         // suppressed groups
 }
 
 func newGroupTable(domain []string) *groupTable {
-	g := &groupTable{group: make(map[string]int, len(domain)), dead: make(map[int]bool)}
+	g := &groupTable{
+		rank:      make(map[string]int, len(domain)),
+		itemGroup: make([]int32, len(domain)),
+		dead:      make([]bool, len(domain)),
+	}
 	for i, it := range domain {
-		g.group[it] = i
+		g.rank[it] = i
+		g.itemGroup[i] = int32(i)
 		g.items = append(g.items, []string{it})
 	}
 	return g
 }
 
+// gid returns the current group of a domain item (false for items outside
+// the domain, e.g. policy constraints referencing unseen items).
+func (g *groupTable) gid(item string) (int32, bool) {
+	r, ok := g.rank[item]
+	if !ok {
+		return 0, false
+	}
+	return g.itemGroup[r], true
+}
+
 // merge joins the groups of items a and b, returning the surviving group
 // index. Merging a group with itself is a no-op.
-func (g *groupTable) merge(a, b string) int {
-	ga, gb := g.group[a], g.group[b]
+func (g *groupTable) merge(a, b string) int32 {
+	ga, _ := g.gid(a)
+	gb, _ := g.gid(b)
 	if ga == gb {
 		return ga
 	}
@@ -149,23 +169,28 @@ func (g *groupTable) merge(a, b string) int {
 	sort.Strings(merged)
 	g.items[ga] = merged
 	for _, it := range g.items[gb] {
-		g.group[it] = ga
+		g.itemGroup[g.rank[it]] = ga
 	}
 	g.items[gb] = nil
 	return ga
 }
 
-// suppress kills the group containing item.
+// suppress kills the group containing item (no-op for unknown items).
 func (g *groupTable) suppress(item string) {
-	g.dead[g.group[item]] = true
+	if gi, ok := g.gid(item); ok {
+		g.dead[gi] = true
+	}
 }
 
 // size returns the member count of item's group.
-func (g *groupTable) size(item string) int { return len(g.items[g.group[item]]) }
+func (g *groupTable) size(item string) int {
+	gi, _ := g.gid(item)
+	return len(g.items[gi])
+}
 
 // label returns the published label for an item ("" when suppressed).
 func (g *groupTable) label(item string) string {
-	gi, ok := g.group[item]
+	gi, ok := g.gid(item)
 	if !ok {
 		return item
 	}
@@ -177,8 +202,8 @@ func (g *groupTable) label(item string) string {
 
 // mapping materializes the item -> label table.
 func (g *groupTable) mapping() map[string]string {
-	out := make(map[string]string, len(g.group))
-	for it := range g.group {
+	out := make(map[string]string, len(g.rank))
+	for it := range g.rank {
 		out[it] = g.label(it)
 	}
 	return out
@@ -187,8 +212,8 @@ func (g *groupTable) mapping() map[string]string {
 // suppressed lists all suppressed items, sorted.
 func (g *groupTable) suppressed() []string {
 	var out []string
-	for it, gi := range g.group {
-		if g.dead[gi] {
+	for it, r := range g.rank {
+		if g.dead[g.itemGroup[r]] {
 			out = append(out, it)
 		}
 	}
@@ -196,48 +221,107 @@ func (g *groupTable) suppressed() []string {
 	return out
 }
 
-// constraintSupport counts transactions whose published item set contains
-// the published image of every item of the constraint. A constraint with a
-// suppressed item has no queryable image: it is reported as satisfied
-// (support 0 is allowed by the "support >= k or 0" semantics).
-func constraintSupport(published [][]map[string]bool, g *groupTable, c policy.PrivacyConstraint) (int, bool) {
-	labels := make(map[string]bool, len(c.Items))
-	for _, it := range c.Items {
-		l := g.label(it)
-		if l == "" {
-			return 0, true // suppressed: unqueryable, trivially protected
+// recordRanks resolves every record's items to domain ranks once; the
+// per-step published rebuilds then never touch a map.
+func recordRanks(ds *dataset.Dataset, g *groupTable) [][]int32 {
+	out := make([][]int32, len(ds.Records))
+	for r := range ds.Records {
+		items := ds.Records[r].Items
+		if len(items) == 0 {
+			continue
 		}
-		labels[l] = true
+		ranks := make([]int32, len(items))
+		for i, it := range items {
+			ranks[i] = int32(g.rank[it])
+		}
+		out[r] = ranks
 	}
-	sup := 0
-	for _, tr := range published {
-		all := true
-		for l := range labels {
-			if !tr[0][l] {
-				all = false
+	return out
+}
+
+// publishedGroups computes, per record, the sorted set of live group IDs
+// its items publish under the current grouping — the dense counterpart of
+// the old per-record label-set maps. Distinct live groups have distinct
+// labels, so group-ID sets and label sets are interchangeable.
+func publishedGroups(recRanks [][]int32, g *groupTable) [][]int32 {
+	out := make([][]int32, len(recRanks))
+	for r, ranks := range recRanks {
+		if len(ranks) == 0 {
+			continue
+		}
+		set := make([]int32, 0, len(ranks))
+		for _, rank := range ranks {
+			gi := g.itemGroup[rank]
+			if !g.dead[gi] {
+				set = append(set, gi)
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+		out[r] = dedupIDs(set)
+	}
+	return out
+}
+
+// gidSupport counts transactions whose published set contains the group.
+func gidSupport(published [][]int32, gid int32) int {
+	n := 0
+	for _, set := range published {
+		for _, v := range set {
+			if v == gid {
+				n++
+				break
+			}
+			if v > gid {
 				break
 			}
 		}
-		if all {
+	}
+	return n
+}
+
+// constraintSupport counts transactions whose published item set contains
+// the published image of every item of the constraint. A constraint with a
+// suppressed item has no queryable image: it is reported as satisfied
+// (support 0 is allowed by the "support >= k or 0" semantics). Items
+// outside the domain publish nowhere, so their constraints have support 0.
+func constraintSupport(published [][]int32, g *groupTable, c policy.PrivacyConstraint) (int, bool) {
+	gids := make([]int32, 0, len(c.Items))
+	for _, it := range c.Items {
+		gi, ok := g.gid(it)
+		if !ok {
+			return 0, false
+		}
+		if g.dead[gi] {
+			return 0, true // suppressed: unqueryable, trivially protected
+		}
+		gids = append(gids, gi)
+	}
+	sort.Slice(gids, func(a, b int) bool { return gids[a] < gids[b] })
+	gids = dedupIDs(gids)
+	sup := 0
+	for _, set := range published {
+		if containsAll(set, gids) {
 			sup++
 		}
 	}
 	return sup, false
 }
 
-// publishedSets precomputes, per record, the set of published labels under
-// the current grouping. The inner slice has one element to allow in-place
-// refresh without reallocating the outer structure.
-func publishedSets(ds *dataset.Dataset, g *groupTable) [][]map[string]bool {
-	out := make([][]map[string]bool, 0, len(ds.Records))
-	for r := range ds.Records {
-		set := make(map[string]bool, len(ds.Records[r].Items))
-		for _, it := range ds.Records[r].Items {
-			if l := g.label(it); l != "" {
-				set[l] = true
-			}
+// containsAll reports whether the ascending set contains every element of
+// the ascending needle slice.
+func containsAll(set, needles []int32) bool {
+	i := 0
+	for _, n := range needles {
+		for i < len(set) && set[i] < n {
+			i++
 		}
-		out = append(out, []map[string]bool{set})
+		if i >= len(set) || set[i] != n {
+			return false
+		}
+		i++
 	}
-	return out
+	return true
 }

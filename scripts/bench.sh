@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# scripts/bench.sh [n] — run the perf-tracking benchmark suite and emit
+# BENCH_<n>.json with one record per benchmark: {name, ns_op, b_op,
+# allocs_op}. The micro-benchmarks (Partition, KMViolations, CheckRT,
+# Apriori) are the hot-path trackers; the root go test -bench suite
+# (E1-E10) rides along at ROOT_BENCHTIME so end-to-end regressions are
+# visible too.
+#
+#   scripts/bench.sh 0                  # record a baseline -> BENCH_0.json
+#   BENCHTIME=5s scripts/bench.sh 1     # longer micro runs -> BENCH_1.json
+#   SKIP_ROOT_BENCH=1 scripts/bench.sh  # micro-benchmarks only
+#
+# Compare two recordings with e.g.:
+#   jq -s '.[0] as $a | .[1] | map(.name as $n | ($a[] | select(.name==$n)) as $base
+#          | {name, speedup: ($base.ns_op/.ns_op), alloc_ratio: ($base.allocs_op/.allocs_op)})' \
+#       BENCH_0.json BENCH_1.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-0}"
+OUT="BENCH_${N}.json"
+BENCHTIME="${BENCHTIME:-2s}"
+ROOT_BENCHTIME="${ROOT_BENCHTIME:-1x}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPartition$|BenchmarkKMViolationsM2$|BenchmarkCheckRT$|BenchmarkApriori$' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/privacy ./internal/transaction | tee "$RAW"
+if [ "${SKIP_ROOT_BENCH:-}" != "1" ]; then
+	go test -run '^$' -bench . -benchmem -benchtime "$ROOT_BENCHTIME" . | tee -a "$RAW"
+fi
+
+# Parse `go test -bench` lines into JSON. A line looks like:
+#   BenchmarkPartition-8  100  11905132 ns/op  4477032 B/op  85333 allocs/op [extra metrics]
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = bop = aop = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") aop = $i
+	}
+	if (ns == "") next
+	if (out != "") out = out ",\n"
+	out = out sprintf("  {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+		name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop))
+}
+END { printf "[\n%s\n]\n", out }
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT"
