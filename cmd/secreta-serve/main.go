@@ -21,12 +21,13 @@
 //	POST   /anonymize        submit an anonymization job
 //	POST   /evaluate         submit an evaluation job (optional sweep)
 //	POST   /compare          submit a comparison job
-//	GET    /jobs             list jobs (state=, limit=, after= params)
-//	GET    /jobs/{id}        poll job status
-//	GET    /jobs/{id}/result fetch the JSON result of a done job
-//	DELETE /jobs/{id}        cancel a job (stops mid-algorithm)
-//	GET    /healthz          liveness + readiness (false during replay)
-//	GET    /stats            cache/registry/store occupancy + counters
+//	GET    /jobs                    list jobs (state=, limit=, after= params)
+//	GET    /jobs/{id}               poll job status
+//	GET    /jobs/{id}/result        fetch the JSON result of a done job
+//	GET    /jobs/{id}/result/stream stream an anonymize result as NDJSON
+//	DELETE /jobs/{id}               cancel a job (stops mid-algorithm)
+//	GET    /healthz                 liveness + readiness (false during replay)
+//	GET    /stats                   cache/registry/store/streaming counters
 package main
 
 import (

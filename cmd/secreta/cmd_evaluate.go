@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"secreta/internal/dataset"
@@ -35,6 +37,7 @@ func cmdEvaluate(args []string) error {
 	sensitive := fs.String("sensitive", "", "comma-separated sensitive items (rho extension)")
 	outData := fs.String("out", "", "write the anonymized dataset CSV here")
 	outJSON := fs.String("results", "", "write the run result JSON here")
+	stream := fs.String("stream", "", "stream anonymized records to stdout as they are encoded: ndjson | csv (summary moves to stderr)")
 	plotAttr := fs.String("plot-attr", "", "plot generalized value frequencies of this attribute")
 	plotItems := fs.Bool("plot-items", false, "plot per-item relative frequency error")
 	plotPhases := fs.Bool("plot-phases", false, "plot the phase runtime breakdown")
@@ -58,6 +61,13 @@ func cmdEvaluate(args []string) error {
 	}
 	cfg.Rho = *rho
 	cfg.Sensitive = splitList(*sensitive)
+
+	if *stream != "" && *stream != "ndjson" && *stream != "csv" {
+		return fmt.Errorf("unknown -stream format %q (want ndjson or csv)", *stream)
+	}
+	if *stream != "" && *varyParam != "" {
+		return fmt.Errorf("-stream applies to single runs; a -vary sweep has no single anonymized dataset to stream")
+	}
 
 	ctx, stop := signalContext()
 	defer stop()
@@ -92,19 +102,38 @@ func cmdEvaluate(args []string) error {
 	if res.Err != nil {
 		return res.Err
 	}
-	printSummary(res)
+	// With -stream, stdout belongs to the record stream (pipeable into
+	// files or other tools); the human-facing summary moves to stderr.
+	summary := os.Stdout
+	if *stream != "" {
+		summary = os.Stderr
+	}
+	printSummary(summary, res)
+
+	if *stream != "" {
+		var err error
+		switch *stream {
+		case "ndjson":
+			err = export.RecordsNDJSON(os.Stdout, res.Records)
+		case "csv":
+			err = export.RecordsCSV(os.Stdout, res.Records, dataset.Options{})
+		}
+		if err != nil {
+			return fmt.Errorf("streaming anonymized records: %w", err)
+		}
+	}
 
 	if *outData != "" {
 		if err := res.Anonymized.SaveFile(*outData, dataset.Options{}); err != nil {
 			return err
 		}
-		fmt.Printf("anonymized dataset -> %s\n", *outData)
+		fmt.Fprintf(summary, "anonymized dataset -> %s\n", *outData)
 	}
 	if *outJSON != "" {
 		if err := export.ResultsJSONFile(*outJSON, []*engine.Result{res}); err != nil {
 			return err
 		}
-		fmt.Printf("results -> %s\n", *outJSON)
+		fmt.Fprintf(summary, "results -> %s\n", *outJSON)
 	}
 	if *plotAttr != "" {
 		i := ds.AttrIndex(*plotAttr)
@@ -121,7 +150,7 @@ func cmdEvaluate(args []string) error {
 			labels[j], values[j] = f.Value, float64(f.Count)
 		}
 		chart := plot.NewBar("generalized frequencies of "+*plotAttr, *plotAttr, "count", labels, values)
-		fmt.Print(chart.ASCII(78, 14))
+		fmt.Fprint(summary, chart.ASCII(78, 14))
 		if *svgOut != "" {
 			if err := export.ChartSVG(*svgOut, chart, 640, 420); err != nil {
 				return err
@@ -139,7 +168,7 @@ func cmdEvaluate(args []string) error {
 			labels[j], values[j] = ve.Value, ve.RelError
 		}
 		chart := plot.NewBar("item frequency relative error", "item", "rel. error", labels, values)
-		fmt.Print(chart.ASCII(78, 14))
+		fmt.Fprint(summary, chart.ASCII(78, 14))
 	}
 	if *plotPhases {
 		labels := make([]string, len(res.Phases))
@@ -149,7 +178,7 @@ func cmdEvaluate(args []string) error {
 			values[j] = float64(p.Duration) / float64(time.Millisecond)
 		}
 		chart := plot.NewBar("phase runtime", "phase", "ms", labels, values)
-		fmt.Print(chart.ASCII(78, 12))
+		fmt.Fprint(summary, chart.ASCII(78, 12))
 	}
 	return nil
 }
@@ -197,28 +226,28 @@ func buildConfig(ds *dataset.Dataset, algo string, k, m int, delta float64, qis,
 }
 
 // printSummary renders the Evaluation mode's "message box with a summary of
-// results".
-func printSummary(res *engine.Result) {
+// results" to w (stdout normally, stderr when -stream owns stdout).
+func printSummary(w io.Writer, res *engine.Result) {
 	ind := res.Indicators
-	fmt.Printf("configuration : %s\n", res.Config.DisplayLabel())
-	fmt.Printf("runtime       : %v\n", res.Runtime.Round(time.Microsecond))
+	fmt.Fprintf(w, "configuration : %s\n", res.Config.DisplayLabel())
+	fmt.Fprintf(w, "runtime       : %v\n", res.Runtime.Round(time.Microsecond))
 	for _, p := range res.Phases {
-		fmt.Printf("  phase %-12s %v\n", p.Name, p.Duration.Round(time.Microsecond))
+		fmt.Fprintf(w, "  phase %-12s %v\n", p.Name, p.Duration.Round(time.Microsecond))
 	}
 	if res.Config.Mode != engine.Transactional {
-		fmt.Printf("GCP           : %.4f\n", ind.GCP)
-		fmt.Printf("discernibility: %.0f\n", ind.Discernibility)
-		fmt.Printf("CAVG          : %.3f\n", ind.CAVG)
-		fmt.Printf("suppression   : %.2f%%\n", 100*ind.SuppressionRatio)
-		fmt.Printf("classes       : %d (min size %d)\n", ind.Classes, ind.MinClassSize)
-		fmt.Printf("k-anonymous   : %v\n", ind.KAnonymous)
+		fmt.Fprintf(w, "GCP           : %.4f\n", ind.GCP)
+		fmt.Fprintf(w, "discernibility: %.0f\n", ind.Discernibility)
+		fmt.Fprintf(w, "CAVG          : %.3f\n", ind.CAVG)
+		fmt.Fprintf(w, "suppression   : %.2f%%\n", 100*ind.SuppressionRatio)
+		fmt.Fprintf(w, "classes       : %d (min size %d)\n", ind.Classes, ind.MinClassSize)
+		fmt.Fprintf(w, "k-anonymous   : %v\n", ind.KAnonymous)
 	}
 	if res.Config.Mode != engine.Relational {
-		fmt.Printf("trans. GCP    : %.4f\n", ind.TransactionGCP)
-		fmt.Printf("k^m-anonymous : %v\n", ind.KMAnonymous)
+		fmt.Fprintf(w, "trans. GCP    : %.4f\n", ind.TransactionGCP)
+		fmt.Fprintf(w, "k^m-anonymous : %v\n", ind.KMAnonymous)
 	}
 	if res.Config.Workload != nil {
-		fmt.Printf("ARE           : %.4f\n", ind.ARE)
+		fmt.Fprintf(w, "ARE           : %.4f\n", ind.ARE)
 	}
 }
 

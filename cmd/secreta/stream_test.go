@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestEvaluateStream pins the CLI half of streaming delivery: -stream
+// ndjson puts a parseable header + one record line per anonymized record
+// on stdout, and -stream csv reproduces exactly the bytes -out writes.
+func TestEvaluateStream(t *testing.T) {
+	withDir(t, func(dir string) {
+		base := []string{
+			"-data", "data.csv", "-algo", "cluster+apriori/rmerger",
+			"-k", "4", "-m", "2", "-delta", "0.2", "-out", "anon.csv",
+		}
+		ndjson := captureStdout(t, func() error {
+			return cmdEvaluate(append([]string{"-stream", "ndjson"}, base...))
+		})
+		lines := strings.Split(strings.TrimRight(string(ndjson), "\n"), "\n")
+		var hdr struct {
+			Records int `json:"records"`
+		}
+		if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+			t.Fatalf("stream header is not JSON: %v\n%s", err, lines[0])
+		}
+		if hdr.Records == 0 || len(lines)-1 != hdr.Records {
+			t.Fatalf("stream: %d record lines, header says %d", len(lines)-1, hdr.Records)
+		}
+		for i, line := range lines[1:] {
+			var rec struct {
+				Values []string `json:"values"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("record line %d is not JSON: %v", i, err)
+			}
+		}
+
+		csvOut := captureStdout(t, func() error {
+			return cmdEvaluate(append([]string{"-stream", "csv"}, base...))
+		})
+		want, err := os.ReadFile("anon.csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(csvOut, want) {
+			t.Fatal("-stream csv diverges from the -out CSV file")
+		}
+
+		if err := cmdEvaluate(append([]string{"-stream", "tsv"}, base...)); err == nil {
+			t.Fatal("unknown stream format accepted")
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package dataset
+
+// RecordSource is a replayable, incrementally consumable view of a
+// dataset's records — the contract streaming consumers (the export
+// package's NDJSON/CSV writers, secreta-serve's chunked result delivery)
+// iterate instead of holding a fully materialized *Dataset. Both *Dataset
+// and *Indexed implement it; the Indexed implementation decodes one record
+// at a time from the interned columns, so a consumer that streams N
+// records never pays the O(N) Materialize round-trip.
+//
+// Invariants: ScanRecords visits records in stable record order, may be
+// called any number of times (replayable), and may reuse the yielded
+// Record's backing slices between calls — callers must copy anything they
+// retain past the callback.
+type RecordSource interface {
+	// SourceSchema returns the relational attributes and the transaction
+	// attribute name ("" for purely relational data).
+	SourceSchema() ([]Attribute, string)
+	// NumRecords returns the number of records ScanRecords will yield.
+	NumRecords() int
+	// ScanRecords calls fn for each record in order until fn returns false
+	// or the records are exhausted.
+	ScanRecords(fn func(i int, rec Record) bool)
+}
+
+// SourceSchema implements RecordSource.
+func (d *Dataset) SourceSchema() ([]Attribute, string) { return d.Attrs, d.TransName }
+
+// NumRecords implements RecordSource.
+func (d *Dataset) NumRecords() int { return len(d.Records) }
+
+// ScanRecords implements RecordSource. The yielded records alias the
+// dataset's own storage; callers must not mutate them.
+func (d *Dataset) ScanRecords(fn func(i int, rec Record) bool) {
+	for i := range d.Records {
+		if !fn(i, d.Records[i]) {
+			return
+		}
+	}
+}
+
+// SourceSchema implements RecordSource.
+func (ix *Indexed) SourceSchema() ([]Attribute, string) { return ix.Attrs, ix.TransName }
+
+// NumRecords implements RecordSource.
+func (ix *Indexed) NumRecords() int { return ix.N }
+
+// ScanRecords implements RecordSource by decoding one record at a time
+// from the interned columns. The Values/Items slices are scratch buffers
+// reused across iterations (the strings themselves are the interners'
+// shared storage), so a full scan allocates O(columns), not O(records) —
+// this is the no-Materialize streaming path.
+func (ix *Indexed) ScanRecords(fn func(i int, rec Record) bool) {
+	vals := make([]string, len(ix.Attrs))
+	var items []string
+	for r := 0; r < ix.N; r++ {
+		for a := range ix.Attrs {
+			vals[a] = ix.Dicts[a].Value(ix.Cols[a][r])
+		}
+		items = items[:0]
+		if ix.ItemDict != nil {
+			for _, id := range ix.Items[r] {
+				items = append(items, ix.ItemDict.Value(id))
+			}
+		}
+		rec := Record{Values: vals}
+		if len(items) > 0 {
+			rec.Items = items
+		}
+		if !fn(r, rec) {
+			return
+		}
+	}
+}

@@ -126,6 +126,13 @@ type Indicators struct {
 type Result struct {
 	Config     Config
 	Anonymized *dataset.Dataset
+	// Records is a replayable, incrementally consumable iterator over the
+	// anonymized records — what streaming consumers (secreta-serve's
+	// chunked result delivery, `secreta evaluate -stream`) read instead of
+	// serializing Anonymized into one fully materialized payload. It is
+	// set whenever the run produced an anonymized dataset and may be
+	// scanned any number of times.
+	Records    dataset.RecordSource
 	Runtime    time.Duration
 	Phases     []timing.Phase
 	Indicators Indicators
@@ -155,6 +162,7 @@ func RunCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) *Result {
 		return res
 	}
 	res.Anonymized = anon
+	res.Records = anon
 	res.Indicators, res.Err = Evaluate(ds, anon, cfg)
 	return res
 }

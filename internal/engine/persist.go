@@ -85,6 +85,7 @@ func decodeResult(data []byte, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("engine: decoding cached anonymized dataset: %w", err)
 		}
 		r.Anonymized = ds
+		r.Records = ds
 	}
 	return r, nil
 }

@@ -1,7 +1,14 @@
 // Package export is SECRETA's Data Export Module: it serializes datasets,
 // hierarchies, policies, workloads (all CSV/text, handled by their own
 // packages), experiment series (CSV), run results (JSON) and charts (SVG)
-// to disk.
+// to disk, plus streaming record writers (NDJSON and CSV over a
+// dataset.RecordSource) that emit one record at a time, so exporting an
+// N-record anonymized dataset costs O(1) memory.
+//
+// Invariant: AppendRecordJSON is the single definition of the compact
+// record-line format — the streamed record lines, secreta-serve's chunked
+// result frames, and the compacted records of the buffered JSON payload
+// are all byte-identical.
 package export
 
 import (

@@ -1,0 +1,146 @@
+package export
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"secreta/internal/dataset"
+)
+
+// Streaming record serialization: NDJSON and CSV writers that consume a
+// dataset.RecordSource one record at a time, so emitting an N-record
+// anonymized dataset costs O(1) memory regardless of N. secreta-serve's
+// chunked result delivery and `secreta evaluate -stream` are built on
+// these; the record line format is shared with the framed result blobs in
+// internal/store, so a stream served from RAM and one served from disk are
+// byte-identical.
+
+// StreamHeader is the first NDJSON line of a record stream: the schema a
+// consumer needs to interpret the record lines that follow.
+type StreamHeader struct {
+	Attributes  []StreamAttr `json:"attributes"`
+	Transaction string       `json:"transaction,omitempty"`
+	Records     int          `json:"records"`
+}
+
+// StreamAttr mirrors the dataset JSON attribute shape.
+type StreamAttr struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// HeaderFor builds the stream header of a record source.
+func HeaderFor(src dataset.RecordSource) StreamHeader {
+	attrs, trans := src.SourceSchema()
+	h := StreamHeader{
+		Attributes:  make([]StreamAttr, len(attrs)),
+		Transaction: trans,
+		Records:     src.NumRecords(),
+	}
+	for i, a := range attrs {
+		h.Attributes[i] = StreamAttr{Name: a.Name, Kind: a.Kind.String()}
+	}
+	return h
+}
+
+// recordJSON is the compact per-line record shape — field names and order
+// identical to the dataset package's JSON record format, so a streamed
+// record is byte-for-byte the compact form of a buffered one.
+type recordJSON struct {
+	Values []string `json:"values"`
+	Items  []string `json:"items,omitempty"`
+}
+
+// AppendRecordJSON appends the compact JSON encoding of rec (no trailing
+// newline) to dst and returns the extended slice. It is the single
+// definition of the record line format: the NDJSON writer, the server's
+// streamed responses and the store's chunked result frames all encode
+// through it.
+func AppendRecordJSON(dst []byte, rec dataset.Record) ([]byte, error) {
+	b, err := json.Marshal(recordJSON{Values: rec.Values, Items: rec.Items})
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+// RecordsNDJSON writes src as NDJSON: one schema header line (StreamHeader)
+// followed by one compact record object per line. Records are encoded and
+// written incrementally — peak memory is one record plus the writer's
+// buffer, never the whole dataset.
+func RecordsNDJSON(w io.Writer, src dataset.RecordSource) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	hdr, err := json.Marshal(HeaderFor(src))
+	if err != nil {
+		return fmt.Errorf("export: encoding stream header: %w", err)
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	var line []byte
+	var scanErr error
+	src.ScanRecords(func(i int, rec dataset.Record) bool {
+		line, scanErr = AppendRecordJSON(line[:0], rec)
+		if scanErr != nil {
+			scanErr = fmt.Errorf("export: encoding record %d: %w", i, scanErr)
+			return false
+		}
+		bw.Write(line)
+		if scanErr = bw.WriteByte('\n'); scanErr != nil {
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return bw.Flush()
+}
+
+// RecordsCSV writes src in the dataset package's CSV dialect (kind-
+// annotated header, transaction items joined by opts.ItemSep), one record
+// at a time. The output of a *Dataset source is byte-identical to
+// Dataset.WriteCSV.
+func RecordsCSV(w io.Writer, src dataset.RecordSource, opts dataset.Options) error {
+	itemSep := opts.ItemSep
+	if itemSep == "" {
+		itemSep = " "
+	}
+	cw := csv.NewWriter(w)
+	if opts.Comma != 0 {
+		cw.Comma = opts.Comma
+	}
+	attrs, trans := src.SourceSchema()
+	header := make([]string, 0, len(attrs)+1)
+	for _, a := range attrs {
+		header = append(header, a.Name+":"+a.Kind.String())
+	}
+	if trans != "" {
+		header = append(header, trans+":transaction")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("export: writing CSV header: %w", err)
+	}
+	row := make([]string, 0, len(header))
+	var scanErr error
+	src.ScanRecords(func(i int, rec dataset.Record) bool {
+		row = row[:0]
+		row = append(row, rec.Values...)
+		if trans != "" {
+			row = append(row, strings.Join(rec.Items, itemSep))
+		}
+		if err := cw.Write(row); err != nil {
+			scanErr = fmt.Errorf("export: writing CSV row %d: %w", i, err)
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	cw.Flush()
+	return cw.Error()
+}

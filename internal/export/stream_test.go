@@ -1,0 +1,123 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"secreta/internal/dataset"
+)
+
+func streamFixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New([]dataset.Attribute{
+		{Name: "Age", Kind: dataset.Numeric},
+		{Name: "Sex", Kind: dataset.Categorical},
+	}, "Items")
+	rows := []dataset.Record{
+		{Values: []string{"25", "M"}, Items: []string{"b", "a"}},
+		{Values: []string{"30", "F"}},
+		{Values: []string{"25", "F"}, Items: []string{"c"}},
+	}
+	for _, r := range rows {
+		if err := ds.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestRecordsNDJSONMatchesBufferedJSON pins the byte-identity contract:
+// every streamed record line is exactly the compact form of the same
+// record in Dataset.WriteJSON's buffered output, and the Indexed source
+// produces the same stream as the Dataset source.
+func TestRecordsNDJSONMatchesBufferedJSON(t *testing.T) {
+	ds := streamFixture(t)
+
+	var fromDS, fromIX bytes.Buffer
+	if err := RecordsNDJSON(&fromDS, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := RecordsNDJSON(&fromIX, dataset.Intern(ds)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromDS.Bytes(), fromIX.Bytes()) {
+		t.Fatalf("Indexed stream diverges from Dataset stream:\n%s\nvs\n%s", &fromIX, &fromDS)
+	}
+
+	lines := strings.Split(strings.TrimRight(fromDS.String(), "\n"), "\n")
+	if len(lines) != 1+len(ds.Records) {
+		t.Fatalf("stream has %d lines, want %d", len(lines), 1+len(ds.Records))
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("decoding header: %v", err)
+	}
+	if hdr.Records != len(ds.Records) || hdr.Transaction != "Items" || len(hdr.Attributes) != 2 {
+		t.Fatalf("bad header: %+v", hdr)
+	}
+
+	// The buffered path: WriteJSON, then compact each element of its
+	// records array and compare byte-for-byte with the streamed lines.
+	var buffered bytes.Buffer
+	if err := ds.WriteJSON(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(buffered.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for i, raw := range doc.Records {
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, raw); err != nil {
+			t.Fatal(err)
+		}
+		if got := lines[1+i]; got != compact.String() {
+			t.Fatalf("record %d: streamed %q, buffered-compact %q", i, got, compact.String())
+		}
+	}
+
+	// Round-trip: rebuilding a dataset from the stream restores equality.
+	rebuilt := dataset.New(ds.Attrs, ds.TransName)
+	sc := bufio.NewScanner(bytes.NewReader(fromDS.Bytes()))
+	sc.Scan() // header
+	for sc.Scan() {
+		var rec struct {
+			Values []string `json:"values"`
+			Items  []string `json:"items"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := rebuilt.AddRecord(dataset.Record{Values: rec.Values, Items: rec.Items}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(rebuilt.Records, ds.Records) {
+		t.Fatalf("stream round-trip diverges:\n%v\nvs\n%v", rebuilt.Records, ds.Records)
+	}
+}
+
+// TestRecordsCSVMatchesWriteCSV pins the streaming CSV writer against the
+// buffered Dataset.WriteCSV byte-for-byte, from both source shapes.
+func TestRecordsCSVMatchesWriteCSV(t *testing.T) {
+	ds := streamFixture(t)
+	var want bytes.Buffer
+	if err := ds.WriteCSV(&want, dataset.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]dataset.RecordSource{"dataset": ds, "indexed": dataset.Intern(ds)} {
+		var got bytes.Buffer
+		if err := RecordsCSV(&got, src, dataset.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("%s CSV stream diverges:\n%s\nvs\n%s", name, &got, &want)
+		}
+	}
+}

@@ -272,6 +272,105 @@ func KMViolationsCtx(ctx context.Context, transactions [][]string, k, m, limit i
 	return out, nil
 }
 
+// kmScratch is reusable support-count state for repeated small scans over
+// one shared item domain — CheckRT threads a single instance through its
+// per-class checks so verification allocates per dataset, not per class.
+type kmScratch struct {
+	single []int32
+	pairs  map[uint64]int32
+	packed map[string]int32
+	buf    []byte
+}
+
+// firstKMViolation returns the first k^m violation among txs — smallest
+// itemset size first, then item-rank (= item-name) order, exactly the
+// first element KMViolations would report — or nil when the transactions
+// are k^m-anonymous. vals is the rank-interned item domain the IDs in txs
+// index; sc's buffers are cleared and reused across calls.
+func firstKMViolation(vals []string, txs [][]uint32, k, m int, sc *kmScratch) *Violation {
+	if k <= 1 || m <= 0 {
+		return nil
+	}
+	for size := 1; size <= m; size++ {
+		switch {
+		case size == 1:
+			if sc.single == nil {
+				sc.single = make([]int32, len(vals))
+			} else {
+				clear(sc.single)
+			}
+			for _, tx := range txs {
+				for _, id := range tx {
+					sc.single[id]++
+				}
+			}
+			for id, s := range sc.single {
+				if s > 0 && s < int32(k) {
+					return &Violation{Itemset: []string{vals[id]}, Support: int(s)}
+				}
+			}
+		case size == 2:
+			if sc.pairs == nil {
+				sc.pairs = make(map[uint64]int32)
+			} else {
+				clear(sc.pairs)
+			}
+			for _, tx := range txs {
+				for i := 0; i < len(tx); i++ {
+					hi := uint64(tx[i]) << 32
+					for j := i + 1; j < len(tx); j++ {
+						sc.pairs[hi|uint64(tx[j])]++
+					}
+				}
+			}
+			best, bestSup, found := uint64(0), int32(0), false
+			for key, s := range sc.pairs {
+				if s < int32(k) && (!found || key < best) {
+					best, bestSup, found = key, s, true
+				}
+			}
+			if found {
+				return &Violation{
+					Itemset: []string{vals[uint32(best>>32)], vals[uint32(best)]},
+					Support: int(bestSup),
+				}
+			}
+		default:
+			if sc.packed == nil {
+				sc.packed = make(map[string]int32)
+			} else {
+				clear(sc.packed)
+			}
+			if len(sc.buf) < 4*size {
+				sc.buf = make([]byte, 4*size)
+			}
+			key := sc.buf[:4*size]
+			for _, tx := range txs {
+				forEachSubsetIDs(tx, size, func(sub []uint32) {
+					for i, id := range sub {
+						putID(key[4*i:], id)
+					}
+					sc.packed[string(key)]++
+				})
+			}
+			best, bestSup, found := "", int32(0), false
+			for k2, s := range sc.packed {
+				if s < int32(k) && (!found || k2 < best) {
+					best, bestSup, found = k2, s, true
+				}
+			}
+			if found {
+				items := make([]string, size)
+				for i := range items {
+					items[i] = vals[getID(best[4*i:])]
+				}
+				return &Violation{Itemset: items, Support: int(bestSup)}
+			}
+		}
+	}
+	return nil
+}
+
 // internTransactions rank-interns the item domain (ID = rank among the
 // sorted distinct items, so ID order == item order) and remaps every
 // transaction to ascending item IDs. The distinct set is collected
@@ -567,6 +666,14 @@ func (r RTReport) Holds() bool { return r.KAnonymous && r.BadClasses == 0 }
 // CheckRT verifies (k,k^m)-anonymity per Poulis et al.: the relational part
 // is k-anonymous and each equivalence class's transaction multiset is
 // k^m-anonymous.
+//
+// The item domain is rank-interned once over the whole dataset and shared
+// by every per-class support scan — re-interning each class's tiny
+// transaction set was the dominant allocation cost of verification
+// (wall-clock flat, allocs O(classes * class items); pinned by
+// TestCheckRTSharedInternerAllocs). Rank IDs order like item names
+// globally and therefore within every class, so the per-class violations
+// and their order are identical to the per-class-interner ones.
 func CheckRT(ds *dataset.Dataset, qis []int, k, m int) RTReport {
 	rep := RTReport{KAnonymous: true, MinClass: 0}
 	classes := Partition(ds, qis)
@@ -574,6 +681,17 @@ func CheckRT(ds *dataset.Dataset, qis []int, k, m int) RTReport {
 		rep.MinClass = 0
 		return rep
 	}
+	var vals []string
+	var txs [][]uint32
+	if ds.HasTransaction() {
+		items := make([][]string, len(ds.Records))
+		for r := range ds.Records {
+			items[r] = ds.Records[r].Items
+		}
+		vals, txs = internTransactions(items)
+	}
+	var classTx [][]uint32
+	var sc kmScratch
 	rep.MinClass = len(ds.Records)
 	for _, c := range classes {
 		if len(c.Records) < rep.MinClass {
@@ -583,12 +701,16 @@ func CheckRT(ds *dataset.Dataset, qis []int, k, m int) RTReport {
 			rep.KAnonymous = false
 		}
 		if ds.HasTransaction() {
-			vs := KMViolations(Transactions(ds, c.Records), k, m, 1)
-			if len(vs) > 0 {
+			classTx = classTx[:0]
+			for _, r := range c.Records {
+				if len(txs[r]) > 0 {
+					classTx = append(classTx, txs[r])
+				}
+			}
+			if v := firstKMViolation(vals, classTx, k, m, &sc); v != nil {
 				rep.BadClasses++
 				if rep.FirstKMFail == nil {
-					v := vs[0]
-					rep.FirstKMFail = &v
+					rep.FirstKMFail = v
 				}
 			}
 		}

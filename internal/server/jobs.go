@@ -75,8 +75,8 @@ type job struct {
 	mu        sync.Mutex
 	status    Status
 	err       string
-	result    []byte // JSON payload, valid once status == StatusDone
-	load      func() ([]byte, error)
+	result    *jobResult // valid once status == StatusDone
+	load      func() (*jobResult, error)
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -136,7 +136,7 @@ func (j *job) start() {
 // error to StatusCancelled, so pollers can tell "stopped by budget" from
 // "stopped by request" from "failed". hasResult records that the payload
 // was durably persisted before this transition became observable.
-func (j *job) finish(payload []byte, err error, ctxErr error, hasResult bool) {
+func (j *job) finish(payload *jobResult, err error, ctxErr error, hasResult bool) {
 	j.mu.Lock()
 	if j.status.Terminal() {
 		j.mu.Unlock()
@@ -184,11 +184,13 @@ func (j *job) finish(payload []byte, err error, ctxErr error, hasResult bool) {
 }
 
 // snapshot returns the job's terminal view, lazily rehydrating a result
-// that is still on disk after a restart. A load failure demotes the job
-// to failed in memory — the status endpoints must agree with the result
-// endpoint, not keep claiming done for a result that is gone. The
-// durable record is left untouched: the next boot retries the load.
-func (j *job) snapshot() (Status, []byte, string) {
+// that is still on disk after a restart (for a chunked anonymize result
+// only the meta frame is loaded — the records stay on disk and stream per
+// request). A load failure demotes the job to failed in memory — the
+// status endpoints must agree with the result endpoint, not keep claiming
+// done for a result that is gone. The durable record is left untouched:
+// the next boot retries the load.
+func (j *job) snapshot() (Status, *jobResult, string) {
 	j.mu.Lock()
 	if j.status != StatusDone || j.result != nil || j.load == nil {
 		defer j.mu.Unlock()
@@ -229,8 +231,9 @@ type jobStore struct {
 	max  int
 	jobs map[string]*job
 
-	jl      *store.Journal // nil: memory-only
-	results *store.BlobDir // nil: memory-only
+	jl      *store.Journal    // nil: memory-only
+	results *store.BlobDir    // nil: memory-only
+	chunks  *store.ChunkedDir // nil: memory-only
 	// shuttingDown reports whether the server's base context is done —
 	// shutdown-driven cancellations are left un-finalized in the journal
 	// so the next boot re-queues them (see job.finish).
@@ -249,11 +252,12 @@ func newJobStore(max int) *jobStore {
 // attachStore wires the journal and result-blob directory in and aligns
 // the ID sequence past everything the journal has seen, so recovered and
 // new jobs never collide. Must be called before the store takes traffic.
-func (s *jobStore) attachStore(jl *store.Journal, results *store.BlobDir) {
+func (s *jobStore) attachStore(jl *store.Journal, results *store.BlobDir, chunks *store.ChunkedDir) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jl = jl
 	s.results = results
+	s.chunks = chunks
 	if seq := jl.Seq(); seq > s.seq {
 		s.seq = seq
 	}
@@ -314,7 +318,7 @@ func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int, b
 // terminal job keeps its status (and lazily loads its result through
 // load); an in-flight one comes back as queued, to be re-run by the
 // caller. Restore does not journal — the record already exists.
-func (s *jobStore) restore(rec store.JobRecord, load func() ([]byte, error), cancel context.CancelFunc) *job {
+func (s *jobStore) restore(rec store.JobRecord, load func() (*jobResult, error), cancel context.CancelFunc) *job {
 	status := Status(rec.Status)
 	j := &job{
 		id:        rec.ID,
@@ -353,6 +357,11 @@ func (s *jobStore) dropDurable(ids []string) {
 		if s.results != nil {
 			if err := s.results.Delete(id); err != nil {
 				log.Printf("secreta-serve: deleting result blob %s: %v", id, err)
+			}
+		}
+		if s.chunks != nil {
+			if err := s.chunks.Delete(id); err != nil {
+				log.Printf("secreta-serve: deleting result stream %s: %v", id, err)
 			}
 		}
 	}

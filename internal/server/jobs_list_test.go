@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestJobListPaginationEdges covers the corners of GET /jobs pagination:
+// a cursor naming a job that retention has already evicted, state= and
+// after= combined, and the rejected limit=0 (the internal "unlimited"
+// sentinel must not be reachable from the query string).
+func TestJobListPaginationEdges(t *testing.T) {
+	ts := httptest.NewServer(mustNew(t, context.Background(), Options{Workers: 2, MaxJobs: 2}).Handler())
+	t.Cleanup(ts.Close)
+	dsJSON, _ := patientsJSON(t)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		_, body := postJSON(t, ts.URL+"/anonymize", AnonymizeRequest{
+			Dataset: dsJSON,
+			Config:  ConfigRequest{Algo: "cluster", K: 2 + i},
+		})
+		id := body["job"].(string)
+		ids = append(ids, id)
+		if st := pollDone(t, ts.URL, id); st != StatusDone {
+			t.Fatalf("job %d finished as %s", i, st)
+		}
+	}
+	// MaxJobs=2: the two oldest jobs are gone from the table.
+	if code, _ := getJSON(t, ts.URL+"/jobs/"+ids[0]); code != http.StatusNotFound {
+		t.Fatalf("oldest job survived retention: %d", code)
+	}
+
+	// A cursor pointing at an evicted job must keep working — the cursor
+	// is decoded from the ID, not looked up — and return exactly the
+	// retained jobs submitted after it.
+	code, list := getJSON(t, ts.URL+"/jobs?after="+ids[1])
+	if code != http.StatusOK {
+		t.Fatalf("after=<evicted>: %d %v", code, list)
+	}
+	jobs := list["jobs"].([]any)
+	if len(jobs) != 2 {
+		t.Fatalf("after=<evicted>: %d jobs, want the 2 retained", len(jobs))
+	}
+	for i, j := range jobs {
+		if got := j.(map[string]any)["job"].(string); got != ids[2+i] {
+			t.Fatalf("after=<evicted>[%d] = %s, want %s", i, got, ids[2+i])
+		}
+	}
+
+	// state= and after= combined: the filter applies first, the cursor
+	// then pages within the matches; total counts matches before paging.
+	code, list = getJSON(t, ts.URL+"/jobs?state=done&after="+ids[2])
+	if code != http.StatusOK {
+		t.Fatalf("state+after: %d %v", code, list)
+	}
+	jobs = list["jobs"].([]any)
+	if len(jobs) != 1 || jobs[0].(map[string]any)["job"].(string) != ids[3] {
+		t.Fatalf("state=done&after=%s: %v", ids[2], jobs)
+	}
+	if total := list["total"].(float64); total != 2 {
+		t.Fatalf("state=done&after combined total = %v, want 2 (total ignores the cursor)", total)
+	}
+	// A state that matches nothing, combined with a cursor, is an empty
+	// 200 — not an error.
+	code, list = getJSON(t, ts.URL+"/jobs?state=failed&after="+ids[1])
+	if code != http.StatusOK || len(list["jobs"].([]any)) != 0 || list["total"].(float64) != 0 {
+		t.Fatalf("state=failed&after: %d %v", code, list)
+	}
+
+	// limit=0 is rejected outright.
+	if code, _ := getJSON(t, ts.URL+"/jobs?limit=0"); code != http.StatusBadRequest {
+		t.Fatalf("limit=0 answered %d, want 400", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/jobs?limit=-1"); code != http.StatusBadRequest {
+		t.Fatalf("limit=-1 answered %d, want 400", code)
+	}
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"secreta/internal/dataset"
+	"secreta/internal/store"
 )
 
 // smallDatasetJSON builds a distinct tiny RT-dataset (tag varies the
@@ -40,12 +43,24 @@ func smallDatasetJSON(t *testing.T, tag string) json.RawMessage {
 // from disk at job start.
 func TestLazyPinBoundsResidencyByConcurrency(t *testing.T) {
 	dir := t.TempDir()
-	ts, stop := durableServer(t, dir, Options{
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := mustNew(t, ctx, Options{
 		Workers:             1,
 		MaxConcurrentJobs:   1,
 		RegistryMaxDatasets: 1,
+		Store:               st,
 	})
-	defer stop()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		cancel()
+		ts.Close()
+		st.Close()
+	})
+	waitReady(t, ts.URL)
 
 	const jobs = 6
 	refs := make([]string, jobs)
@@ -62,6 +77,12 @@ func TestLazyPinBoundsResidencyByConcurrency(t *testing.T) {
 		t.Fatalf("%d datasets resident before jobs, want <= 1", got)
 	}
 
+	// Occupy the single admission slot directly, so the six referencing
+	// jobs below are deterministically still queued when the
+	// delete-conflict and residency checks run — any wall-clock slot
+	// holder (a "slow" job) races the checks on a fast machine.
+	srv.slots <- struct{}{}
+
 	ids := make([]string, jobs)
 	for i := range ids {
 		_, sub := postJSON(t, ts.URL+"/anonymize", map[string]any{
@@ -75,23 +96,24 @@ func TestLazyPinBoundsResidencyByConcurrency(t *testing.T) {
 		ids[i] = job
 	}
 	// Every referenced dataset is reserved — deletes conflict — even
-	// though the queue's datasets are not resident.
+	// though the queue's datasets are not resident. The slot is held by
+	// the test, so every one of the six is still queued here.
 	conflicts := 0
 	for _, ref := range refs {
 		if code, _ := httpDelete(t, ts.URL+"/datasets/"+ref); code == http.StatusConflict {
 			conflicts++
 		}
 	}
-	if conflicts < jobs-2 {
-		// The running job plus the deep queue hold reservations; a couple
-		// may already have finished, but most must still conflict.
+	if conflicts != jobs {
 		t.Fatalf("only %d/%d deletes conflicted; reservations not held", conflicts, jobs)
 	}
-	// Residency while the queue drains stays bounded by the RAM cap plus
-	// the single running job's pin — never the whole queue.
+	// Residency while the queue waits stays bounded by the RAM cap plus
+	// the running job — never the whole queue.
 	if got := residentCount(t, ts.URL); got > 2 {
 		t.Fatalf("%d datasets resident mid-queue, want <= 2 (cache cap + running job)", got)
 	}
+	// Release the slot and let the queue drain.
+	<-srv.slots
 	for i, id := range ids {
 		if st := pollDone(t, ts.URL, id); st != StatusDone {
 			t.Fatalf("job %d ended %s, want done", i, st)

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"secreta/internal/dataset"
+	"secreta/internal/engine"
+	"secreta/internal/experiment"
+	"secreta/internal/export"
+	"secreta/internal/store"
+)
+
+// Result payloads. Series jobs (evaluate/compare) keep a small, fully
+// materialized JSON document. Anonymize jobs — whose payload is dominated
+// by the anonymized records — are held as a small meta document plus a
+// replayable record stream (the interned columnar form in RAM, or a
+// framed chunk file on disk), and both the buffered and the NDJSON
+// response are assembled from it incrementally: serving an N-record
+// result never builds an O(N) buffer.
+
+// chunkTarget is the record-chunk granularity: the size of the frames the
+// server persists and of the write/flush batches it streams to clients.
+const chunkTarget = 64 << 10
+
+// anonMeta is the constant-size part of an anonymize result — everything
+// except the records. Serialized compact, it is both the NDJSON stream's
+// header line and frame 0 of the chunked result file.
+type anonMeta struct {
+	Attributes  []export.StreamAttr `json:"attributes"`
+	Transaction string              `json:"transaction,omitempty"`
+	Records     int                 `json:"records"`
+	CacheHit    bool                `json:"cache_hit"`
+	// Results is the compact `secreta evaluate -results`-style array, the
+	// same bytes the buffered document carries under "results".
+	Results json.RawMessage `json:"results"`
+}
+
+// resultRecords is a replayable source of compact record-JSON lines — the
+// one abstraction both response shapes iterate, regardless of whether the
+// records live in RAM or on disk. stream calls emit once per record, in
+// record order, with the line excluding its trailing newline; emit's
+// error aborts the scan and is returned.
+type resultRecords interface {
+	stream(emit func(line []byte) error) error
+}
+
+// memRecords streams from an in-memory record source — for retained
+// terminal jobs this is the interned columnar form of the anonymized
+// dataset, decoded one record at a time (never materialized whole).
+type memRecords struct {
+	src dataset.RecordSource
+}
+
+func (m memRecords) stream(emit func(line []byte) error) error {
+	var line []byte
+	var err error
+	m.src.ScanRecords(func(i int, rec dataset.Record) bool {
+		line, err = export.AppendRecordJSON(line[:0], rec)
+		if err != nil {
+			return false
+		}
+		err = emit(line)
+		return err == nil
+	})
+	return err
+}
+
+// diskRecords streams from a framed chunk file, one frame in memory at a
+// time — the serving path for durable and rehydrated jobs.
+type diskRecords struct {
+	chunks *store.ChunkedDir
+	id     string
+}
+
+func (d diskRecords) stream(emit func(line []byte) error) error {
+	r, err := d.chunks.Open(d.id)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if _, err := r.Next(); err != nil { // frame 0: meta, already held
+		return fmt.Errorf("reading result stream meta: %w", err)
+	}
+	for {
+		frame, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for len(frame) > 0 {
+			nl := bytes.IndexByte(frame, '\n')
+			if nl < 0 {
+				return fmt.Errorf("result stream frame has an unterminated record line")
+			}
+			if err := emit(frame[:nl]); err != nil {
+				return err
+			}
+			frame = frame[nl+1:]
+		}
+	}
+}
+
+// jobResult is what a finished job retains and serves. Exactly one shape
+// is populated: full for series jobs, meta+recs for anonymize jobs.
+type jobResult struct {
+	full []byte
+	meta *anonMeta
+	recs resultRecords
+}
+
+// jobOutcome is what a job's runnable hands back on success; finishJob
+// turns it into the retained jobResult (persisting as a side effect).
+type jobOutcome struct {
+	payload []byte    // complete JSON document (series jobs)
+	meta    *anonMeta // anonymize jobs
+	records dataset.RecordSource
+}
+
+// ---- payload builders (series jobs keep the legacy buffered form) ----
+
+// resultsPayload wraps export.ResultsJSON: {"results": [...]}, byte-for-
+// byte the same result objects `secreta evaluate -results` writes.
+func resultsPayload(results []*engine.Result) (*jobOutcome, error) {
+	var buf bytes.Buffer
+	if err := export.ResultsJSON(&buf, results); err != nil {
+		return nil, err
+	}
+	p, err := wrap("results", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &jobOutcome{payload: p}, nil
+}
+
+func seriesPayload(series []*experiment.Series) (*jobOutcome, error) {
+	var buf bytes.Buffer
+	if err := export.SeriesJSON(&buf, series); err != nil {
+		return nil, err
+	}
+	p, err := wrap("series", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &jobOutcome{payload: p}, nil
+}
+
+// wrap assembles {"key": <raw>, ...} from alternating key, raw-JSON pairs.
+func wrap(kv ...any) ([]byte, error) {
+	out := make(map[string]json.RawMessage, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out[kv[i].(string)] = json.RawMessage(bytes.TrimSpace(kv[i+1].([]byte)))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// anonymizeOutcome builds the streaming-ready outcome of an anonymize
+// run: the constant-size meta plus the replayable record source the
+// engine result carries. cacheHit flags cache-served results so their
+// runtime_s is not read as a fresh measurement.
+func anonymizeOutcome(res *engine.Result, cacheHit bool) (*jobOutcome, error) {
+	var buf bytes.Buffer
+	if err := export.ResultsJSON(&buf, []*engine.Result{res}); err != nil {
+		return nil, err
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, buf.Bytes()); err != nil {
+		return nil, err
+	}
+	src := res.Records
+	if src == nil {
+		return nil, fmt.Errorf("anonymize result carries no records")
+	}
+	hdr := export.HeaderFor(src)
+	return &jobOutcome{
+		meta: &anonMeta{
+			Attributes:  hdr.Attributes,
+			Transaction: hdr.Transaction,
+			Records:     hdr.Records,
+			CacheHit:    cacheHit,
+			Results:     compact.Bytes(),
+		},
+		records: src,
+	}, nil
+}
+
+// ---- buffered document assembly ----
+
+// writeBufferedAnonymize streams the buffered-path JSON document —
+// {"anonymized": {...}, "cache_hit": ..., "results": [...]} — in the
+// exact bytes the legacy fully-materialized json.MarshalIndent
+// construction produced (pinned by TestBufferedDocMatchesLegacyBytes),
+// while holding only one record in memory at a time.
+func writeBufferedAnonymize(w io.Writer, meta *anonMeta, recs resultRecords) error {
+	bw := bufio.NewWriterSize(w, chunkTarget)
+	bw.WriteString("{\n  \"anonymized\": {\n    \"attributes\": ")
+	attrs, err := json.Marshal(meta.Attributes)
+	if err != nil {
+		return err
+	}
+	if err := indentInto(bw, attrs, "    "); err != nil {
+		return err
+	}
+	if meta.Transaction != "" {
+		tn, err := json.Marshal(meta.Transaction)
+		if err != nil {
+			return err
+		}
+		bw.WriteString(",\n    \"transaction\": ")
+		bw.Write(tn)
+	}
+	bw.WriteString(",\n    \"records\": ")
+	if meta.Records == 0 {
+		// The legacy document marshaled a nil records slice as null;
+		// byte-identity wins over prettier JSON here.
+		bw.WriteString("null")
+	} else {
+		bw.WriteByte('[')
+		first := true
+		err = recs.stream(func(line []byte) error {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString("\n      ")
+			return indentInto(bw, line, "      ")
+		})
+		if err != nil {
+			return err
+		}
+		bw.WriteString("\n    ]")
+	}
+	bw.WriteString("\n  },\n  \"cache_hit\": ")
+	bw.WriteString(strconv.FormatBool(meta.CacheHit))
+	bw.WriteString(",\n  \"results\": ")
+	if err := indentInto(bw, meta.Results, "  "); err != nil {
+		return err
+	}
+	bw.WriteString("\n}")
+	return bw.Flush()
+}
+
+// indentInto re-indents a compact JSON value for embedding at the line
+// prefix the document has reached, mirroring what json.MarshalIndent did
+// to the legacy document's RawMessage fields.
+func indentInto(w *bufio.Writer, compact []byte, prefix string) error {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, compact, prefix, "  "); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

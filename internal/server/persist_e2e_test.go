@@ -442,11 +442,12 @@ func TestDurableJobEvictionCleansDisk(t *testing.T) {
 			t.Fatal("evicted job still journaled")
 		}
 	}
-	if st.Results.Has(ids[0]) {
-		t.Fatal("evicted job's result blob still on disk")
+	if st.Results.Has(ids[0]) || st.ResultChunks.Has(ids[0]) {
+		t.Fatal("evicted job's result still on disk")
 	}
-	if !st.Results.Has(ids[2]) {
-		t.Fatal("retained job's result blob missing")
+	// Anonymize results persist as chunked record-stream files.
+	if !st.ResultChunks.Has(ids[2]) {
+		t.Fatal("retained job's result stream missing")
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"time"
@@ -50,6 +51,34 @@ type recoveryInfo struct {
 	FailedRequeues int `json:"failed_requeues"`
 }
 
+// loadResult rehydrates a terminal job's result from disk: a chunked
+// record-stream file answers with its meta frame plus a reopenable disk
+// stream (the records are never loaded whole — every request streams them
+// frame by frame), a plain .json blob answers fully loaded.
+func (s *Server) loadResult(id string) (*jobResult, error) {
+	if s.st.ResultChunks.Has(id) {
+		r, err := s.st.ResultChunks.Open(id)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := r.Next()
+		r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading result stream meta: %w", err)
+		}
+		var meta anonMeta
+		if err := json.Unmarshal(frame, &meta); err != nil {
+			return nil, fmt.Errorf("decoding result stream meta: %w", err)
+		}
+		return &jobResult{meta: &meta, recs: diskRecords{chunks: s.st.ResultChunks, id: id}}, nil
+	}
+	data, err := s.st.Results.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return &jobResult{full: data}, nil
+}
+
 // recover rebuilds the job table from the journal and re-queues work that
 // was in flight when the last process died. It runs once, in the
 // background, while the readiness gate holds traffic (only /healthz
@@ -60,16 +89,16 @@ func (s *Server) recover() {
 	var info recoveryInfo
 	for _, rec := range s.st.Journal.Jobs() {
 		if Status(rec.Status).Terminal() {
-			var load func() ([]byte, error)
+			var load func() (*jobResult, error)
 			switch {
 			case rec.HasResult:
 				id := rec.ID
-				load = func() ([]byte, error) { return s.st.Results.Get(id) }
+				load = func() (*jobResult, error) { return s.loadResult(id) }
 			case Status(rec.Status) == StatusDone:
 				// Journaled done but the result blob write failed before
 				// the crash: the result endpoint must say so, not answer
 				// an empty 200.
-				load = func() ([]byte, error) {
+				load = func() (*jobResult, error) {
 					return nil, fmt.Errorf("result blob was never persisted")
 				}
 			}

@@ -117,6 +117,14 @@ type Server struct {
 	ready    atomic.Bool
 	recMu    sync.Mutex
 	recovery recoveryInfo
+	// streams counts NDJSON result deliveries: in-flight, completed, and
+	// cut short by a client disconnect. Surfaced on GET /stats so an
+	// operator can see streaming health at a glance.
+	streams struct {
+		active      atomic.Int64
+		served      atomic.Uint64
+		disconnects atomic.Uint64
+	}
 	// slots is the admission semaphore: a job must hold a slot to run.
 	slots chan struct{}
 	// uploadSlots bounds concurrent POST /datasets decodes. Uploads don't
@@ -197,13 +205,14 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /jobs/{id}/result/stream", s.handleJobResultStream)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	if s.st == nil {
 		s.ready.Store(true)
 	} else {
-		s.jobs.attachStore(s.st.Journal, s.st.Results)
+		s.jobs.attachStore(s.st.Journal, s.st.Results, s.st.ResultChunks)
 		s.jobs.shuttingDown = func() bool { return ctx.Err() != nil }
 		go s.recover()
 	}
@@ -433,7 +442,7 @@ func (s *Server) datasetError(w http.ResponseWriter, err error) {
 // crash). release frees resources acquired at preparation time — the
 // registry pin — and must be called exactly once on every exit path.
 type preparedJob struct {
-	fn         func(context.Context) ([]byte, error)
+	fn         func(context.Context) (*jobOutcome, error)
 	release    func()
 	timeout    time.Duration
 	datasetRef string
@@ -511,7 +520,7 @@ func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob
 		if err != nil {
 			return nil, err
 		}
-		fn := func(ctx context.Context) ([]byte, error) {
+		fn := func(ctx context.Context) (*jobOutcome, error) {
 			ds, err := load()
 			if err != nil {
 				return nil, err
@@ -531,17 +540,17 @@ func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob
 	if err != nil {
 		return nil, err
 	}
-	var fn func(context.Context) ([]byte, error)
+	var fn func(context.Context) (*jobOutcome, error)
 	if kind == "anonymize" {
-		fn = func(ctx context.Context) ([]byte, error) {
+		fn = func(ctx context.Context) (*jobOutcome, error) {
 			res, cacheHit, err := s.runSingle(ctx, s.sched, load, cfg, fanout, workload)
 			if err != nil {
 				return nil, err
 			}
-			return anonymizePayload(res, cacheHit)
+			return anonymizeOutcome(res, cacheHit)
 		}
 	} else {
-		fn = func(ctx context.Context) ([]byte, error) {
+		fn = func(ctx context.Context) (*jobOutcome, error) {
 			// Uncached like the CLI: /evaluate is a measurement, so its
 			// runtime must come from a real execution.
 			res, _, err := s.runSingle(ctx, s.uncached, load, cfg, fanout, workload)
@@ -582,7 +591,7 @@ func (s *Server) prepareCompare(req *CompareRequest) (*preparedJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	fn := func(ctx context.Context) ([]byte, error) {
+	fn := func(ctx context.Context) (*jobOutcome, error) {
 		ds, err := load()
 		if err != nil {
 			return nil, err
@@ -794,18 +803,128 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// handleJobResult serves a finished job's result as one JSON document,
+// assembled incrementally from the retained record stream for anonymize
+// jobs (the bytes are identical to the historical fully-buffered
+// construction). With `Accept: application/x-ndjson` the response is the
+// NDJSON stream instead — the same negotiation /result/stream offers
+// unconditionally.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if acceptsNDJSON(r) {
+		s.handleJobResultStream(w, r)
+		return
+	}
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
 		s.notFound(w, r.PathValue("id"))
 		return
 	}
 	status, result, errMsg := j.snapshot()
+	if status != StatusDone {
+		s.writeUnfinished(w, j, status, errMsg)
+		return
+	}
+	if result == nil {
+		// Unreachable by construction (a done job always retains a
+		// result), but a nil here must not panic the handler.
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"job": j.id, "status": status, "error": "job finished without a result",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if result.full != nil {
+		w.Write(result.full)
+		return
+	}
+	if err := writeBufferedAnonymize(w, result.meta, result.recs); err != nil {
+		// The 200 is already on the wire. Abort the connection so the
+		// client sees a broken transfer (no terminating chunk), never a
+		// transport-complete response with a silently truncated body.
+		log.Printf("secreta-serve: assembling result of %s: %v", j.id, err)
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleJobResultStream serves a finished anonymize job's result as
+// NDJSON — one meta header line, then one record per line — writing and
+// flushing in chunkTarget batches. The response streams straight from the
+// retained record source (interned columns in RAM, or the chunked file on
+// disk), so serving N records needs O(chunk) memory; a slow or gone
+// client stalls only this handler's goroutine, never a job worker slot.
+// Client disconnects are detected via the request context between
+// batches, freeing the connection promptly without affecting the job.
+func (s *Server) handleJobResultStream(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.notFound(w, r.PathValue("id"))
+		return
+	}
+	status, result, errMsg := j.snapshot()
+	if status != StatusDone {
+		s.writeUnfinished(w, j, status, errMsg)
+		return
+	}
+	if result == nil || result.meta == nil {
+		// Series results (evaluate/compare) are small documents with no
+		// record stream; only the buffered route can represent them.
+		writeJSON(w, http.StatusNotAcceptable, map[string]any{
+			"error": fmt.Sprintf("job %s (%s) has no record stream; GET /jobs/%s/result instead", j.id, j.kind, j.id),
+		})
+		return
+	}
+	meta, err := json.Marshal(result.meta)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	s.streams.active.Add(1)
+	defer s.streams.active.Add(-1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	ctx := r.Context()
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 0, chunkTarget+4096)
+	buf = append(append(buf, meta...), '\n')
+	flush := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		rc.Flush()
+		return nil
+	}
+	err = result.recs.stream(func(line []byte) error {
+		buf = append(append(buf, line...), '\n')
+		if len(buf) >= chunkTarget {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil && len(buf) > 0 {
+		err = flush()
+	}
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			s.streams.disconnects.Add(1)
+			return
+		}
+		// A server-side failure (e.g. a corrupt result file) mid-stream:
+		// abort the connection rather than ending the chunked body
+		// cleanly, so the short stream cannot be mistaken for complete.
+		log.Printf("secreta-serve: streaming result of %s: %v", j.id, err)
+		panic(http.ErrAbortHandler)
+	}
+	s.streams.served.Add(1)
+}
+
+// writeUnfinished answers a result request for a job that is not done.
+func (s *Server) writeUnfinished(w http.ResponseWriter, j *job, status Status, errMsg string) {
 	switch status {
-	case StatusDone:
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		w.Write(result)
 	case StatusFailed, StatusTimedOut:
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
 			"job": j.id, "status": status, "error": errMsg,
@@ -819,6 +938,36 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusAccepted, j.view())
 	}
+}
+
+// acceptsNDJSON reports whether the request negotiates the streaming
+// representation on the buffered result route: an NDJSON media range
+// listed in Accept with a non-zero quality. Full content-negotiation
+// scoring is deliberately out of scope — JSON stays the default unless
+// the client names NDJSON.
+func acceptsNDJSON(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaRange, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch strings.ToLower(strings.TrimSpace(mediaRange)) {
+		case "application/x-ndjson", "application/ndjson":
+		default:
+			continue
+		}
+		refused := false
+		for _, p := range strings.Split(params, ";") {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+				continue
+			}
+			if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+				refused = true
+			}
+		}
+		if !refused {
+			return true
+		}
+	}
+	return false
 }
 
 // handleJobCancel stops a queued/running job; on a job that already
@@ -852,6 +1001,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"registry": s.registry.Stats(),
 		"jobs":     s.jobs.counts(),
 		"phases":   s.phases.snapshot(),
+		"streaming": map[string]any{
+			"active":             s.streams.active.Load(),
+			"served":             s.streams.served.Load(),
+			"client_disconnects": s.streams.disconnects.Load(),
+		},
 	}
 	if s.st != nil {
 		out["store"] = s.st.Stats()
@@ -914,28 +1068,115 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	}
 	defer cancelRun()
 	j.start()
-	payload, err := p.fn(runCtx)
-	s.finishJob(j, payload, err, runCtx.Err())
+	outcome, err := p.fn(runCtx)
+	s.finishJob(j, outcome, err, runCtx.Err())
 }
 
-// finishJob persists a successful payload (durability first: the result
-// blob is on disk before the journal's terminal record points at it),
-// then records the outcome.
-func (s *Server) finishJob(j *job, payload []byte, err error, ctxErr error) {
+// finishJob persists a successful outcome (durability first: the result
+// bytes are on disk before the journal's terminal record points at them),
+// decides what the job retains in memory, and records the outcome.
+//
+// Series jobs keep their small document in RAM (and as a .json blob when
+// durable). Anonymize jobs are the streaming case: when durable, the
+// records are written once as a framed chunk file and the job retains
+// only the meta plus a reopenable disk stream — resident memory per
+// terminal job is O(1), and every later request serves O(chunk); without
+// a store, the job retains the records in interned columnar form, the
+// most compact replayable in-RAM shape.
+func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error) {
+	var res *jobResult
 	hasResult := false
 	// Persist whenever the work completed — matching finish()'s rule that
-	// a payload with no error is done even if the deadline fired as fn
+	// an outcome with no error is done even if the deadline fired as fn
 	// returned.
-	if err == nil && payload != nil && s.st != nil {
-		if werr := s.st.Results.Put(j.id, payload); werr != nil {
-			// The job still answers from memory; only post-restart
-			// retrieval is lost.
-			log.Printf("secreta-serve: persisting result of %s: %v", j.id, werr)
-		} else {
-			hasResult = true
+	if err == nil && outcome != nil {
+		switch {
+		case outcome.payload != nil:
+			res = &jobResult{full: outcome.payload}
+			if s.st != nil {
+				if werr := s.st.Results.Put(j.id, outcome.payload); werr != nil {
+					// The job still answers from memory; only post-restart
+					// retrieval is lost.
+					log.Printf("secreta-serve: persisting result of %s: %v", j.id, werr)
+				} else {
+					hasResult = true
+				}
+			}
+		case outcome.meta != nil:
+			res = &jobResult{meta: outcome.meta}
+			if s.st != nil {
+				if werr := s.writeChunkedResult(j.id, outcome.meta, outcome.records); werr != nil {
+					log.Printf("secreta-serve: persisting result stream of %s: %v", j.id, werr)
+				} else {
+					hasResult = true
+				}
+			}
+			if hasResult {
+				res.recs = diskRecords{chunks: s.st.ResultChunks, id: j.id}
+			} else {
+				res.recs = memRecords{src: retainSource(outcome.records)}
+			}
 		}
 	}
-	j.finish(payload, err, ctxErr, hasResult)
+	j.finish(res, err, ctxErr, hasResult)
+}
+
+// retainSource picks the in-RAM shape a terminal job keeps for replay:
+// a string dataset is interned into its columnar form (values dedup to
+// one string per distinct value — for anonymized outputs, whose point is
+// that values repeat, far smaller than the record-major original); any
+// other source is already compact enough to keep as-is.
+func retainSource(src dataset.RecordSource) dataset.RecordSource {
+	if ds, ok := src.(*dataset.Dataset); ok {
+		return dataset.Intern(ds)
+	}
+	return src
+}
+
+// writeChunkedResult persists an anonymize result as a framed chunk
+// file: frame 0 the compact meta document, then record lines batched
+// into chunkTarget-sized frames — written incrementally, fsync'd, and
+// atomically published.
+func (s *Server) writeChunkedResult(id string, meta *anonMeta, src dataset.RecordSource) error {
+	metaLine, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	cw, err := s.st.ResultChunks.Create(id)
+	if err != nil {
+		return err
+	}
+	if err := cw.WriteFrame(metaLine); err != nil {
+		cw.Abort()
+		return err
+	}
+	buf := make([]byte, 0, chunkTarget+4096)
+	var scanErr error
+	src.ScanRecords(func(i int, rec dataset.Record) bool {
+		buf, scanErr = export.AppendRecordJSON(buf, rec)
+		if scanErr != nil {
+			return false
+		}
+		buf = append(buf, '\n')
+		if len(buf) >= chunkTarget {
+			if scanErr = cw.WriteFrame(buf); scanErr != nil {
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if scanErr != nil {
+		cw.Abort()
+		return scanErr
+	}
+	if len(buf) > 0 {
+		if err := cw.WriteFrame(buf); err != nil {
+			cw.Abort()
+			return err
+		}
+	}
+	return cw.Commit()
 }
 
 // readBody reads the request body under the MaxBodyBytes cap.
@@ -971,50 +1212,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// ---- result payloads, built on the Data Export Module ----
-
-// resultsPayload wraps export.ResultsJSON: {"results": [...]}, byte-for-
-// byte the same result objects `secreta evaluate -results` writes.
-func resultsPayload(results []*engine.Result) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := export.ResultsJSON(&buf, results); err != nil {
-		return nil, err
-	}
-	return wrap("results", buf.Bytes())
-}
-
-// anonymizePayload additionally inlines the anonymized dataset in the
-// dataset package's JSON format, and flags cache-served results so their
-// runtime_s is not read as a fresh measurement.
-func anonymizePayload(res *engine.Result, cacheHit bool) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := export.ResultsJSON(&buf, []*engine.Result{res}); err != nil {
-		return nil, err
-	}
-	var data bytes.Buffer
-	if err := res.Anonymized.WriteJSON(&data); err != nil {
-		return nil, err
-	}
-	hit, err := json.Marshal(cacheHit)
-	if err != nil {
-		return nil, err
-	}
-	return wrap("results", buf.Bytes(), "anonymized", data.Bytes(), "cache_hit", hit)
-}
-
-func seriesPayload(series []*experiment.Series) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := export.SeriesJSON(&buf, series); err != nil {
-		return nil, err
-	}
-	return wrap("series", buf.Bytes())
-}
-
-// wrap assembles {"key": <raw>, ...} from alternating key, raw-JSON pairs.
-func wrap(kv ...any) ([]byte, error) {
-	out := make(map[string]json.RawMessage, len(kv)/2)
-	for i := 0; i+1 < len(kv); i += 2 {
-		out[kv[i].(string)] = json.RawMessage(bytes.TrimSpace(kv[i+1].([]byte)))
-	}
-	return json.MarshalIndent(out, "", "  ")
-}
+// The result payload builders (series documents, anonymize meta + record
+// streams, and the buffered-document assembler) live in payload.go.

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Chunked result blobs: the framed on-disk format streaming result
+// delivery reads straight from disk, chunk by chunk, so serving an
+// N-record result costs O(chunk) memory no matter how large N is.
+//
+// A chunk file is a sequence of frames, each:
+//
+//	[u32 length][u32 CRC32(payload)][payload]
+//
+// (little-endian, IEEE CRC — the same framing discipline as the WAL).
+// Frame 0 is a caller-defined meta payload; every following frame is an
+// opaque chunk of the record stream. Files are written through an fsync'd
+// temp file + rename, so like every other blob a crash leaves either the
+// whole file or nothing — there is no torn-tail repair to do, the frames
+// exist purely so a *reader* never has to hold more than one in memory.
+
+// ErrCorruptChunk reports a frame whose checksum or length does not match
+// its payload — the file is damaged and the caller should treat the whole
+// blob as lost.
+var ErrCorruptChunk = errors.New("store: corrupt chunk frame")
+
+// chunkHeaderSize is the per-frame overhead: u32 length + u32 CRC.
+const chunkHeaderSize = 8
+
+// maxChunkFrame caps a single frame so a corrupt length field cannot make
+// a reader allocate gigabytes. Writers chunk well below this.
+const maxChunkFrame = 16 << 20
+
+// ChunkedDir stores framed chunk files in one directory, parallel to a
+// BlobDir (same naming rules, its own extension).
+type ChunkedDir struct {
+	dir string
+	ext string
+}
+
+// NewChunkedDir creates dir if needed and returns a ChunkedDir whose
+// files all carry ext (e.g. ".ndr").
+func NewChunkedDir(dir, ext string) (*ChunkedDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating chunk dir: %w", err)
+	}
+	return &ChunkedDir{dir: dir, ext: ext}, nil
+}
+
+func (c *ChunkedDir) path(name string) (string, error) {
+	if err := validBlobName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(c.dir, name+c.ext), nil
+}
+
+// Create opens a writer for the named chunk file. Nothing is visible
+// under name until Commit; Abort (or a crash) leaves any previous file
+// untouched.
+func (c *ChunkedDir) Create(name string) (*ChunkWriter, error) {
+	p, err := c.path(name)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkWriter{
+		f:    tmp,
+		bw:   bufio.NewWriterSize(tmp, 256<<10),
+		dir:  c.dir,
+		dest: p,
+	}, nil
+}
+
+// ChunkWriter appends frames to a pending chunk file.
+type ChunkWriter struct {
+	f    *os.File
+	bw   *bufio.Writer
+	dir  string
+	dest string
+	hdr  [chunkHeaderSize]byte
+	done bool
+}
+
+// WriteFrame appends one frame. Frames must be non-empty — a zero-length
+// record chunk carries no information and is rejected to keep the format
+// unambiguous.
+func (w *ChunkWriter) WriteFrame(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("store: empty chunk frame")
+	}
+	if len(payload) > maxChunkFrame {
+		return fmt.Errorf("store: chunk frame of %d bytes exceeds the %d cap", len(payload), maxChunkFrame)
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+// Commit flushes, fsyncs and atomically publishes the file under its
+// destination name, replacing any previous version.
+func (w *ChunkWriter) Commit() error {
+	if w.done {
+		return fmt.Errorf("store: chunk writer already finished")
+	}
+	w.done = true
+	tmpName := w.f.Name()
+	fail := func(err error) error {
+		w.f.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, w.dest); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+// Abort discards the pending file. Safe to call after Commit (no-op).
+func (w *ChunkWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	name := w.f.Name()
+	w.f.Close()
+	os.Remove(name)
+}
+
+// Open positions a reader at the named file's first frame; a missing file
+// answers ErrNoBlob. Each Open is an independent pass over the frames, so
+// a stream is replayed by simply opening again.
+func (c *ChunkedDir) Open(name string) (*ChunkReader, error) {
+	p, err := c.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNoBlob, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkReader{f: f, br: bufio.NewReaderSize(f, 256<<10)}, nil
+}
+
+// ChunkReader iterates a chunk file frame by frame.
+type ChunkReader struct {
+	f   *os.File
+	br  *bufio.Reader
+	buf []byte
+}
+
+// Next returns the next frame's payload, io.EOF after the last frame, or
+// ErrCorruptChunk when a frame fails its checksum. The returned slice is
+// reused by the following Next call.
+func (r *ChunkReader) Next() ([]byte, error) {
+	var hdr [chunkHeaderSize]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		// A partial header cannot happen on a committed file; report it as
+		// corruption, not a clean end.
+		return nil, fmt.Errorf("%w: truncated frame header", ErrCorruptChunk)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxChunkFrame {
+		return nil, fmt.Errorf("%w: implausible frame length %d", ErrCorruptChunk, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame payload", ErrCorruptChunk)
+	}
+	if crc32.ChecksumIEEE(r.buf) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptChunk)
+	}
+	return r.buf, nil
+}
+
+// Close releases the underlying file.
+func (r *ChunkReader) Close() error { return r.f.Close() }
+
+// Has reports whether a chunk file named name exists.
+func (c *ChunkedDir) Has(name string) bool {
+	p, err := c.path(name)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Delete removes the chunk file under name; missing files are a no-op.
+func (c *ChunkedDir) Delete(name string) error {
+	p, err := c.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Stats sums chunk file count and bytes (advisory, like BlobDir.Stats).
+func (c *ChunkedDir) Stats() BlobStats {
+	var s BlobStats
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return s
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), c.ext) || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.Count++
+		s.Bytes += info.Size()
+	}
+	return s
+}

@@ -9,6 +9,7 @@
 //	  datasets/<fingerprint>.json   dataset blobs (content-addressed)
 //	  datasets/<fingerprint>.meta   cached {attrs, records, bytes} sidecar
 //	  results/<job-id>.json         terminal job result payloads
+//	  results/<job-id>.ndr          chunked record streams (framed, CRC'd)
 //	  cache/<sha256(key)>.json      persisted result-cache entries
 //	  journal/wal.log               append-only checksummed job journal
 //	  journal/snapshot.json         job-table snapshot (WAL truncation point)
@@ -63,6 +64,11 @@ type Store struct {
 	Datasets *DatasetStore
 	// Results holds terminal job result payloads, job-ID-named.
 	Results *BlobDir
+	// ResultChunks holds framed, chunked record streams of terminal
+	// anonymize jobs (results/<job-id>.ndr, next to the .json payloads) —
+	// the on-disk form streaming delivery serves without ever loading a
+	// whole result into memory.
+	ResultChunks *ChunkedDir
 	// Cache spills engine result-cache entries to disk.
 	Cache *CacheStore
 	// Journal is the WAL-backed job table.
@@ -73,7 +79,7 @@ type Store struct {
 	// on every probe.
 	statsMu    sync.Mutex
 	statsAt    time.Time
-	statsBlobs [3]BlobStats // datasets, results, cache
+	statsBlobs [4]BlobStats // datasets, results, result chunks, cache
 }
 
 // statsTTL bounds how stale the cached blob-walk numbers can be.
@@ -98,6 +104,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	chunks, err := NewChunkedDir(filepath.Join(dir, "results"), ".ndr")
+	if err != nil {
+		return nil, err
+	}
 	cache, err := NewCacheStore(filepath.Join(dir, "cache"), opts.CacheMaxEntries, opts.CacheMaxBytes)
 	if err != nil {
 		return nil, err
@@ -107,11 +117,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	return &Store{
-		Dir:      dir,
-		Datasets: datasets,
-		Results:  results,
-		Cache:    cache,
-		Journal:  journal,
+		Dir:          dir,
+		Datasets:     datasets,
+		Results:      results,
+		ResultChunks: chunks,
+		Cache:        cache,
+		Journal:      journal,
 	}, nil
 }
 
@@ -133,8 +144,11 @@ type BlobStats struct {
 // along so operators can see the configured -disk-cache-entries /
 // -disk-cache-bytes bounds next to the occupancy they govern.
 type Stats struct {
-	Datasets            BlobStats    `json:"datasets"`
-	Results             BlobStats    `json:"results"`
+	Datasets BlobStats `json:"datasets"`
+	Results  BlobStats `json:"results"`
+	// ResultStreams counts the chunked record-stream files next to the
+	// plain result payloads.
+	ResultStreams       BlobStats    `json:"result_streams"`
 	ResultCache         BlobStats    `json:"result_cache"`
 	ResultCacheMaxCount int          `json:"result_cache_max_count"`
 	ResultCacheMaxBytes int64        `json:"result_cache_max_bytes"`
@@ -147,7 +161,7 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	s.statsMu.Lock()
 	if time.Since(s.statsAt) >= statsTTL {
-		s.statsBlobs = [3]BlobStats{s.Datasets.Stats(), s.Results.Stats(), s.Cache.Stats()}
+		s.statsBlobs = [4]BlobStats{s.Datasets.Stats(), s.Results.Stats(), s.ResultChunks.Stats(), s.Cache.Stats()}
 		s.statsAt = time.Now()
 	}
 	blobs := s.statsBlobs
@@ -156,7 +170,8 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Datasets:            blobs[0],
 		Results:             blobs[1],
-		ResultCache:         blobs[2],
+		ResultStreams:       blobs[2],
+		ResultCache:         blobs[3],
 		ResultCacheMaxCount: maxEntries,
 		ResultCacheMaxBytes: maxBytes,
 		Journal:             s.Journal.Stats(),

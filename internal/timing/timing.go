@@ -1,6 +1,11 @@
 // Package timing provides the phase stopwatch used across anonymization
 // algorithms, so the Evaluation mode can plot "the time needed to execute
 // the algorithm and its different phases" (Figure 3, plot (b)).
+//
+// Invariants: phases are reported in the order they were entered, every
+// Mark closes the previous phase (no gaps or overlaps between phases of
+// one stopwatch), and a Stopwatch is single-goroutine state — each
+// algorithm run owns its own.
 package timing
 
 import "time"

@@ -1,12 +1,15 @@
 #!/bin/sh
 # docs_freshness.sh — fail when an HTTP route exported by internal/server
-# is not documented in docs/API.md. Run from the repository root; CI runs
-# it on every push so the endpoint reference cannot silently drift from
-# the code.
+# is not documented in docs/API.md, or when a cmd/secreta-serve flag is
+# missing from both docs/API.md and docs/OPERATIONS.md. Run from the
+# repository root; CI runs it on every push so the endpoint and flag
+# references cannot silently drift from the code.
 set -eu
 
 server_src="internal/server/server.go"
+serve_main="cmd/secreta-serve/main.go"
 api_doc="docs/API.md"
+ops_doc="docs/OPERATIONS.md"
 
 # `|| true` keeps set -e from aborting on grep's no-match exit before the
 # diagnostic below can fire.
@@ -36,3 +39,31 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 echo "docs_freshness: all $(printf '%s\n' "$routes" | wc -l | tr -d ' ') routes documented."
+
+# Every operator flag of secreta-serve must appear (as `-name`) in the API
+# reference or the operations runbook.
+flags=$(grep -oE 'flag\.[A-Za-z0-9]+\("[a-z][a-z0-9-]*"' "$serve_main" | sed -E 's/.*\("([^"]+)"/\1/' | sort -u || true)
+if [ -z "$flags" ]; then
+    echo "docs_freshness: no flags found in $serve_main (pattern drift?)" >&2
+    exit 1
+fi
+if [ ! -f "$ops_doc" ]; then
+    echo "docs_freshness: $ops_doc is missing" >&2
+    exit 1
+fi
+
+missing=0
+for f in $flags; do
+    # Require the backtick-quoted `-flag` form, so incidental hyphenated
+    # prose cannot satisfy the gate for an undocumented flag.
+    if ! grep -qF -- "\`-$f\`" "$api_doc" && ! grep -qF -- "\`-$f\`" "$ops_doc"; then
+        echo "docs_freshness: secreta-serve flag -$f is not documented (want \`-$f\` in $api_doc or $ops_doc)" >&2
+        missing=1
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "docs_freshness: update $api_doc / $ops_doc to cover every secreta-serve flag." >&2
+    exit 1
+fi
+echo "docs_freshness: all $(printf '%s\n' "$flags" | wc -l | tr -d ' ') secreta-serve flags documented."

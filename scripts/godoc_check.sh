@@ -1,0 +1,41 @@
+#!/bin/sh
+# godoc_check.sh — fail when any internal/* package lacks a package-level
+# doc comment (a `// Package <name> ...` block attached to its package
+# clause). Run from the repository root; CI runs it on every push so a new
+# package cannot land undocumented.
+set -eu
+
+missing=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    found=0
+    for f in "$dir"*.go; do
+        case "$f" in
+            *_test.go) continue ;;
+        esac
+        [ -e "$f" ] || continue
+        # The doc comment must be directly attached: a line starting
+        # `// Package <name>` with only comment lines — no blanks, which
+        # would detach the comment in godoc's eyes — between it and the
+        # package clause. awk scans each file for that shape.
+        if awk -v pkg="$pkg" '
+            $0 ~ "^// Package "pkg"[ .,:]" || $0 == "// Package "pkg { indoc=1 }
+            indoc && /^package / { ok=1; exit }
+            indoc && !/^\/\// { indoc=0 }
+            END { exit ok ? 0 : 1 }
+        ' "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "godoc_check: package $pkg has no package doc comment (want \`// Package $pkg ...\` in $dir)" >&2
+        missing=1
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "godoc_check: every internal package must state its role and key invariants in a package comment." >&2
+    exit 1
+fi
+echo "godoc_check: all $(ls -d internal/*/ | wc -l | tr -d ' ') internal packages documented."
