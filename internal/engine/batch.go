@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"sync"
+
+	"secreta/internal/dataset"
+)
+
+// batchShared carries dataset-derived state that every configuration of
+// one batch needs but none may mutate: today, the columnar interning
+// (dataset.Intern). Before it existed, each of a Stream's N workers
+// re-interned the full dataset per configuration — identical work, done
+// N·cfgs times, whose allocation traffic serialized the pool behind the
+// garbage collector and made workers=8 run at workers=1 speed.
+//
+// The interning is built lazily on first use so Transactional-only
+// batches never pay for it, and behind a sync.Once so concurrent workers
+// racing into their first relational/RT dispatch share one build.
+type batchShared struct {
+	ds   *dataset.Dataset
+	once sync.Once
+	ix   *dataset.Indexed
+}
+
+func newBatchShared(ds *dataset.Dataset) *batchShared {
+	return &batchShared{ds: ds}
+}
+
+// indexed returns the batch's shared columnar interning, building it on
+// first call. The result is immutable and safe to hand to any number of
+// concurrent algorithm runs.
+func (b *batchShared) indexed() *dataset.Indexed {
+	b.once.Do(func() { b.ix = dataset.Intern(b.ds) })
+	return b.ix
+}

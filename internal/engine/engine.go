@@ -152,9 +152,16 @@ func Run(ds *dataset.Dataset, cfg Config) *Result {
 // the next configuration boundary — with Result.Err set to the context's
 // error.
 func RunCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) *Result {
+	return runShared(ctx, ds, cfg, newBatchShared(ds))
+}
+
+// runShared is RunCtx over batch-shared derived state: Scheduler.Stream
+// builds one batchShared per batch so its workers intern the dataset once
+// between them instead of once per configuration.
+func runShared(ctx context.Context, ds *dataset.Dataset, cfg Config, sh *batchShared) *Result {
 	start := time.Now()
 	res := &Result{Config: cfg}
-	anon, phases, err := dispatch(ctx, ds, cfg)
+	anon, phases, err := dispatch(ctx, ds, cfg, sh)
 	res.Runtime = time.Since(start)
 	res.Phases = phases
 	if err != nil {
@@ -167,14 +174,14 @@ func RunCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) *Result {
 	return res
 }
 
-func dispatch(ctx context.Context, ds *dataset.Dataset, cfg Config) (*dataset.Dataset, []timing.Phase, error) {
+func dispatch(ctx context.Context, ds *dataset.Dataset, cfg Config, sh *batchShared) (*dataset.Dataset, []timing.Phase, error) {
 	switch cfg.Mode {
 	case Relational:
 		run, err := relationalByName(cfg.Algorithm)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, err := run(ds, relational.Options{Ctx: ctx, K: cfg.K, QIs: cfg.QIs, Hierarchies: cfg.Hierarchies})
+		r, err := run(ds, relational.Options{Ctx: ctx, K: cfg.K, QIs: cfg.QIs, Hierarchies: cfg.Hierarchies, Interned: sh.indexed()})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -207,6 +214,7 @@ func dispatch(ctx context.Context, ds *dataset.Dataset, cfg Config) (*dataset.Da
 			RelAlgo:       cfg.RelAlgo,
 			TransAlgo:     cfg.TransAlgo,
 			Flavor:        cfg.Flavor,
+			Interned:      sh.indexed(),
 		})
 		if err != nil {
 			return nil, nil, err
@@ -282,16 +290,22 @@ func Evaluate(orig, anon *dataset.Dataset, cfg Config) (Indicators, error) {
 	relSide := cfg.Mode == Relational || cfg.Mode == RT
 	transSide := (cfg.Mode == Transactional || cfg.Mode == RT) && orig.HasTransaction()
 
+	// The relational indicators and the RT check all consume the same
+	// equivalence-class partition; compute it once and derive each from
+	// the shared classes (Partition is deterministic, so the values are
+	// identical to the per-indicator partitions they replace).
+	var classes []privacy.Class
 	if relSide {
 		if ind.GCP, err = metrics.GCP(anon, cfg.Hierarchies, qis); err != nil {
 			return ind, err
 		}
-		ind.Discernibility = metrics.Discernibility(anon, qis)
-		ind.CAVG = metrics.CAVG(anon, qis, cfg.K)
+		classes = privacy.Partition(anon, qis)
+		ind.Discernibility = metrics.DiscernibilityClasses(len(anon.Records), classes)
+		ind.CAVG = metrics.CAVGClasses(classes, cfg.K)
 		ind.SuppressionRatio = metrics.SuppressionRatio(anon, qis)
-		ind.MinClassSize = privacy.MinClassSize(anon, qis)
-		ind.Classes = len(privacy.Partition(anon, qis))
-		ind.KAnonymous = privacy.IsKAnonymous(anon, qis, cfg.K)
+		ind.MinClassSize = minClassLen(anon, classes)
+		ind.Classes = len(classes)
+		ind.KAnonymous = classesKAnonymous(classes, cfg.K)
 	}
 	if transSide {
 		if cfg.ItemHierarchy != nil {
@@ -301,7 +315,7 @@ func Evaluate(orig, anon *dataset.Dataset, cfg Config) (Indicators, error) {
 		}
 		switch cfg.Mode {
 		case RT:
-			rep := privacy.CheckRT(anon, qis, cfg.K, cfg.M)
+			rep := privacy.CheckRTClasses(anon, classes, cfg.K, cfg.M)
 			ind.KMAnonymous = rep.BadClasses == 0
 			ind.KAnonymous = rep.KAnonymous
 		default:
@@ -318,9 +332,39 @@ func Evaluate(orig, anon *dataset.Dataset, cfg Config) (Indicators, error) {
 	return ind, nil
 }
 
+// minClassLen mirrors privacy.MinClassSize over a precomputed partition:
+// the smallest class size, 0 when no unsuppressed records exist.
+func minClassLen(ds *dataset.Dataset, classes []privacy.Class) int {
+	if len(classes) == 0 {
+		return 0
+	}
+	min := len(ds.Records)
+	for _, c := range classes {
+		if len(c.Records) < min {
+			min = len(c.Records)
+		}
+	}
+	return min
+}
+
+// classesKAnonymous mirrors privacy.IsKAnonymous over a precomputed
+// partition.
+func classesKAnonymous(classes []privacy.Class, k int) bool {
+	if k <= 1 {
+		return true
+	}
+	for _, c := range classes {
+		if len(c.Records) < k {
+			return false
+		}
+	}
+	return true
+}
+
 // RunAll executes many configurations over the dataset using `workers`
 // parallel anonymization module instances (the "N threads" of the paper's
-// architecture; workers <= 0 means one per configuration, capped at 8).
+// architecture; workers <= 0 means one per configuration, capped at the
+// number of CPUs the runtime may use).
 // Results are returned in input order; individual failures are recorded in
 // Result.Err without failing the batch. It is a convenience facade over
 // Scheduler for callers with no context or cache of their own.

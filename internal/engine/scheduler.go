@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -25,19 +26,24 @@ type Scheduler struct {
 }
 
 // NewScheduler builds a scheduler. workers <= 0 picks one worker per
-// configuration at dispatch time, capped at 8 (the seed RunAll default).
-// cache may be nil to disable result caching.
+// configuration at dispatch time, capped at the number of CPUs the
+// runtime may use (GOMAXPROCS). cache may be nil to disable result
+// caching.
 func NewScheduler(workers int, cache *Cache) *Scheduler {
 	return &Scheduler{workers: workers, cache: cache}
 }
 
-// Workers resolves the effective pool size for n queued configurations.
+// Workers resolves the effective pool size for n queued configurations:
+// the configured count, or min(n, GOMAXPROCS) by default. The old default
+// was hardcoded at 8, which both oversubscribed small boxes and capped
+// big ones — the anonymization workers are CPU-bound, so the pool should
+// track the CPUs actually available, not a constant.
 func (s *Scheduler) Workers(n int) int {
 	w := s.workers
 	if w <= 0 {
 		w = n
-		if w > 8 {
-			w = 8
+		if p := runtime.GOMAXPROCS(0); w > p {
+			w = p
 		}
 	}
 	if w < 1 {
@@ -69,6 +75,9 @@ type Item struct {
 func (s *Scheduler) Stream(ctx context.Context, ds *dataset.Dataset, cfgs []Config) <-chan Item {
 	out := make(chan Item)
 	workers := s.Workers(len(cfgs))
+	// One batchShared serves the whole batch: workers intern the dataset
+	// once between them and run over the shared immutable view.
+	sh := newBatchShared(ds)
 	dsKey := ""
 	var memo *inputHasher
 	if s.cache != nil {
@@ -82,7 +91,7 @@ func (s *Scheduler) Stream(ctx context.Context, ds *dataset.Dataset, cfgs []Conf
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				item := s.runOne(ctx, ds, cfgs[i], dsKey, memo, i)
+				item := s.runOne(ctx, ds, cfgs[i], dsKey, memo, i, sh)
 				// Prefer delivery over the cancellation signal: when the
 				// consumer is waiting, a completed result must reach it
 				// even if ctx was cancelled meanwhile — a bare two-way
@@ -126,12 +135,12 @@ func (s *Scheduler) Stream(ctx context.Context, ds *dataset.Dataset, cfgs []Conf
 // worker — possibly from a different scheduler sharing the cache — is
 // already computing the same key, it waits for that result instead of
 // recomputing (single-flight).
-func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config, dsKey string, memo *inputHasher, i int) Item {
+func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config, dsKey string, memo *inputHasher, i int, sh *batchShared) Item {
 	if err := ctx.Err(); err != nil {
 		return Item{Index: i, Result: &Result{Config: cfg, Err: err}}
 	}
 	if s.cache == nil {
-		return Item{Index: i, Result: RunCtx(ctx, ds, cfg)}
+		return Item{Index: i, Result: runShared(ctx, ds, cfg, sh)}
 	}
 	key := dsKey + "/" + cfg.cacheKey(memo)
 	for {
@@ -155,7 +164,7 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 				}
 				// Panic safety: a flight must never be left unreleased.
 				defer func() { releaseOnce(nil) }()
-				r := RunCtx(ctx, ds, cfg)
+				r := runShared(ctx, ds, cfg, sh)
 				if r.Err == nil {
 					s.cache.put(key, r)
 					// Wake the waiters before the (fsync'd) disk spill:

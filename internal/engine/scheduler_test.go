@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -248,5 +249,27 @@ func TestSchedulerCacheKeysDistinguishInputs(t *testing.T) {
 	run(ds2, cfg)
 	if s := cache.Stats(); s.Hits != 0 || s.Misses != 3 || s.Entries != 3 {
 		t.Fatalf("distinct inputs collided: stats = %+v", s)
+	}
+}
+
+// TestWorkersDefault pins the pool-size derivation: an explicit count
+// wins, the default is min(configurations, GOMAXPROCS), and the result
+// never drops below one. The old default capped at a hardcoded 8, which
+// both oversubscribed small machines and starved larger ones.
+func TestWorkersDefault(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	s := NewScheduler(0, nil)
+	if got := s.Workers(2); got != 2 {
+		t.Fatalf("Workers(2) = %d, want 2 (one per config)", got)
+	}
+	if got := s.Workers(16); got != 4 {
+		t.Fatalf("Workers(16) = %d, want GOMAXPROCS=4", got)
+	}
+	if got := s.Workers(0); got != 1 {
+		t.Fatalf("Workers(0) = %d, want floor of 1", got)
+	}
+	if got := NewScheduler(3, nil).Workers(100); got != 3 {
+		t.Fatalf("explicit Workers(100) = %d, want configured 3", got)
 	}
 }

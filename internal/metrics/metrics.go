@@ -177,11 +177,16 @@ func UL(orig, anon *dataset.Dataset, mapping map[string]string, weights map[stri
 // the size of its equivalence class; suppressed records are charged the
 // dataset size.
 func Discernibility(ds *dataset.Dataset, qis []int) float64 {
-	n := len(ds.Records)
+	return DiscernibilityClasses(len(ds.Records), privacy.Partition(ds, qis))
+}
+
+// DiscernibilityClasses is Discernibility over a precomputed partition of
+// n records — for callers (the engine evaluator) that derive several
+// indicators from one privacy.Partition call.
+func DiscernibilityClasses(n int, classes []privacy.Class) float64 {
 	if n == 0 {
 		return 0
 	}
-	classes := privacy.Partition(ds, qis)
 	covered := 0
 	sum := 0.0
 	for _, c := range classes {
@@ -196,11 +201,12 @@ func Discernibility(ds *dataset.Dataset, qis []int) float64 {
 // (records / classes) / k. Values near 1 indicate classes close to the
 // minimum size k.
 func CAVG(ds *dataset.Dataset, qis []int, k int) float64 {
-	if k <= 0 {
-		return 0
-	}
-	classes := privacy.Partition(ds, qis)
-	if len(classes) == 0 {
+	return CAVGClasses(privacy.Partition(ds, qis), k)
+}
+
+// CAVGClasses is CAVG over a precomputed partition.
+func CAVGClasses(classes []privacy.Class, k int) float64 {
+	if k <= 0 || len(classes) == 0 {
 		return 0
 	}
 	covered := 0

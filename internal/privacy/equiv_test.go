@@ -81,6 +81,74 @@ func TestKMViolationsParallelDeterministic(t *testing.T) {
 	}
 }
 
+// TestCountSupportsEveryWidth pins the deterministic-merge property at
+// every shard width 1..8, not just the width kmWorkers picks on this
+// machine: sharded counting plus merge must yield exactly the serial
+// scan's violations at every size level.
+func TestCountSupportsEveryWidth(t *testing.T) {
+	ds := gen.Census(gen.Config{Records: 1200, Items: 40, MaxBasket: 6, Seed: 11})
+	trs := Transactions(ds, nil)
+	vals, txs := internTransactions(trs)
+	const k = 5
+	for size := 1; size <= 3; size++ {
+		serial, err := countSupportsWidth(context.Background(), txs, len(vals), size, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serial.violations(k, vals)
+		for width := 2; width <= 8; width++ {
+			sharded, err := countSupportsWidth(context.Background(), txs, len(vals), size, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sharded.violations(k, vals); !reflect.DeepEqual(got, want) {
+				t.Fatalf("size=%d width=%d: sharded scan diverged (%d violations, want %d, or order differs)",
+					size, width, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestKMWorkersGating pins the shard-count derivation: serial below the
+// work thresholds, >= 2 shards once 2*kmParallelMin transactions exist,
+// and never more than GOMAXPROCS.
+func TestKMWorkersGating(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	tiny := make([][]uint32, 64)
+	for i := range tiny {
+		tiny[i] = []uint32{1, 2}
+	}
+	if w := kmWorkers(tiny); w != 1 {
+		t.Fatalf("tiny input sharded: %d workers", w)
+	}
+	// 2*kmParallelMin sparse transactions: the transaction-count rule
+	// guarantees at least two shards even when the occurrence count is low.
+	sparse := make([][]uint32, 2*kmParallelMin)
+	for i := range sparse {
+		sparse[i] = []uint32{uint32(i % 7)}
+	}
+	if w := kmWorkers(sparse); w < 2 {
+		t.Fatalf("2*kmParallelMin transactions not sharded: %d workers", w)
+	}
+	// Few but dense transactions: the occurrence rule engages shards where
+	// the old transaction-count floor silently serialized.
+	dense := make([][]uint32, 256)
+	for i := range dense {
+		tx := make([]uint32, 64)
+		for j := range tx {
+			tx[j] = uint32(j)
+		}
+		dense[i] = tx
+	}
+	if w := kmWorkers(dense); w < 2 {
+		t.Fatalf("dense input not sharded: %d workers", w)
+	}
+	if w := kmWorkers(dense); w > 8 {
+		t.Fatalf("worker count exceeds GOMAXPROCS: %d", w)
+	}
+}
+
 func TestKMViolationsCtxCancelled(t *testing.T) {
 	ds := gen.Census(gen.Config{Records: 2000, Items: 40, Seed: 3})
 	trs := Transactions(ds, nil)

@@ -237,11 +237,15 @@ func KMViolations(transactions [][]string, k, m, limit int) []Violation {
 // measurable overhead.
 const cancelCheckStride = 256
 
-// kmWorkersCap bounds the support-scan worker pool; kmParallelMin is the
-// transaction count below which sharding costs more than it saves.
+// kmParallelMin is the per-shard transaction count below which sharding
+// costs more than it saves; kmParallelMinWork is the same floor expressed
+// in item occurrences, so dense baskets (where the per-transaction subset
+// enumeration is the real cost) shard even when the transaction count
+// alone looks small. The pool width itself is bounded only by
+// runtime.GOMAXPROCS — there is no fixed cap hiding cores.
 const (
-	kmWorkersCap  = 8
-	kmParallelMin = 1024
+	kmParallelMin     = 1024
+	kmParallelMinWork = 4096
 )
 
 // KMViolationsCtx is KMViolations with cooperative cancellation: ctx (nil
@@ -535,17 +539,17 @@ func (c *supportCounts) violations(k int, vals []string) []Violation {
 }
 
 // countSupports scans all transactions for one subset size. Scans big
-// enough to amortize goroutine startup shard across min(GOMAXPROCS,
-// kmWorkersCap) workers; each shard polls ctx on the usual stride, so
-// cancellation stays as prompt as the serial scan.
+// enough to amortize goroutine startup shard across up to GOMAXPROCS
+// workers; each shard polls ctx on the usual stride, so cancellation stays
+// as prompt as the serial scan.
 func countSupports(ctx context.Context, txs [][]uint32, numItems, size int) (*supportCounts, error) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > kmWorkersCap {
-		workers = kmWorkersCap
-	}
-	if workers > len(txs)/kmParallelMin {
-		workers = len(txs) / kmParallelMin
-	}
+	return countSupportsWidth(ctx, txs, numItems, size, kmWorkers(txs))
+}
+
+// countSupportsWidth is countSupports at an explicit shard width — split
+// out so the deterministic-merge property can be tested at every width,
+// not just the one kmWorkers happens to pick on the test machine.
+func countSupportsWidth(ctx context.Context, txs [][]uint32, numItems, size, workers int) (*supportCounts, error) {
 	if workers <= 1 {
 		c := newSupportCounts(size, numItems)
 		buf := make([]byte, 4*size)
@@ -592,6 +596,37 @@ func countSupports(ctx context.Context, txs [][]uint32, numItems, size int) (*su
 		total.merge(c)
 	}
 	return total, nil
+}
+
+// kmWorkers derives the support-scan shard count from the total work on
+// offer, not from the transaction count alone: a scan shards when either
+// enough transactions (kmParallelMin per shard) or enough item
+// occurrences (kmParallelMinWork per shard — dense baskets make the
+// subset enumeration expensive even for few transactions) are available,
+// and is capped by GOMAXPROCS. The old derivation floored
+// len(txs)/kmParallelMin to 0–1 and silently serialized every dataset
+// under ~2*kmParallelMin transactions regardless of how much work each
+// transaction carried.
+func kmWorkers(txs [][]uint32) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 {
+		return 1
+	}
+	work := 0
+	for _, tx := range txs {
+		work += len(tx)
+	}
+	shards := work / kmParallelMinWork
+	if byTx := len(txs) / kmParallelMin; byTx > shards {
+		shards = byTx
+	}
+	if shards < 2 {
+		return 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return workers
 }
 
 // forEachSubsetIDs enumerates all size-k subsets of the ascending slice
@@ -675,8 +710,15 @@ func (r RTReport) Holds() bool { return r.KAnonymous && r.BadClasses == 0 }
 // globally and therefore within every class, so the per-class violations
 // and their order are identical to the per-class-interner ones.
 func CheckRT(ds *dataset.Dataset, qis []int, k, m int) RTReport {
+	return CheckRTClasses(ds, Partition(ds, qis), k, m)
+}
+
+// CheckRTClasses is CheckRT over a precomputed partition of ds (as
+// returned by Partition(ds, qis)) — for callers that already hold the
+// classes, like the engine evaluator, which derives every relational
+// indicator and this check from a single partition.
+func CheckRTClasses(ds *dataset.Dataset, classes []Class, k, m int) RTReport {
 	rep := RTReport{KAnonymous: true, MinClass: 0}
-	classes := Partition(ds, qis)
 	if len(classes) == 0 {
 		rep.MinClass = 0
 		return rep

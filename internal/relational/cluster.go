@@ -82,17 +82,18 @@ func recordNodes(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy) ([][
 }
 
 // costOfAdding computes the NCP increase of extending the cluster's LCAs to
-// cover record r, summed over attributes, along with the new LCA nodes.
-// The scan is pure node arithmetic: LCA walks and O(1) NCP reads.
-func costOfAdding(recNodes [][]*hierarchy.Node, hh []*hierarchy.Hierarchy, cl *clusterState, r int) (float64, []*hierarchy.Node) {
-	newLCA := make([]*hierarchy.Node, len(cl.lca))
+// cover record r, summed over attributes, writing the new LCA nodes into
+// lca (len(cl.lca), caller-owned scratch). The scan is pure node
+// arithmetic: LCA walks and O(1) NCP reads — the absorption loops run it
+// O(n^2) times, so it must not allocate.
+func costOfAdding(recNodes [][]*hierarchy.Node, hh []*hierarchy.Hierarchy, cl *clusterState, r int, lca []*hierarchy.Node) float64 {
 	delta := 0.0
 	for i := range cl.lca {
 		node := hierarchy.LCANodes(cl.lca[i], recNodes[r][i])
-		newLCA[i] = node
+		lca[i] = node
 		delta += hh[i].NCPNode(node) - hh[i].NCPNode(cl.lca[i])
 	}
-	return delta, newLCA
+	return delta
 }
 
 func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, opts Options) ([]*clusterState, error) {
@@ -114,6 +115,13 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 		}
 	}
 
+	// Two reusable LCA buffers serve every cost scan: cand receives each
+	// candidate's nodes, best keeps the running winner's. The winner is
+	// committed by copying into the cluster's own slice, so the O(n^2·k)
+	// scans allocate nothing.
+	cand := make([]*hierarchy.Node, len(qis))
+	best := make([]*hierarchy.Node, len(qis))
+
 	var clusters []*clusterState
 	next := 0
 	for remaining >= k {
@@ -132,14 +140,14 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 			}
 			bestR := -1
 			bestCost := 0.0
-			var bestLCA []*hierarchy.Node
 			for r := 0; r < n; r++ {
 				if !unassigned[r] {
 					continue
 				}
-				cost, lca := costOfAdding(recNodes, hh, cl, r)
+				cost := costOfAdding(recNodes, hh, cl, r, cand)
 				if bestR < 0 || cost < bestCost {
-					bestR, bestCost, bestLCA = r, cost, lca
+					bestR, bestCost = r, cost
+					best, cand = cand, best
 					if cost == 0 {
 						break // cannot do better than free
 					}
@@ -149,7 +157,7 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 				break
 			}
 			cl.members = append(cl.members, bestR)
-			cl.lca = bestLCA
+			copy(cl.lca, best)
 			unassigned[bestR] = false
 			remaining--
 		}
@@ -165,11 +173,11 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 		}
 		bestC := -1
 		bestCost := 0.0
-		var bestLCA []*hierarchy.Node
 		for ci, cl := range clusters {
-			cost, lca := costOfAdding(recNodes, hh, cl, r)
+			cost := costOfAdding(recNodes, hh, cl, r, cand)
 			if bestC < 0 || cost < bestCost {
-				bestC, bestCost, bestLCA = ci, cost, lca
+				bestC, bestCost = ci, cost
+				best, cand = cand, best
 			}
 		}
 		if bestC < 0 {
@@ -180,7 +188,7 @@ func buildClusters(ds *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, op
 			continue
 		}
 		clusters[bestC].members = append(clusters[bestC].members, r)
-		clusters[bestC].lca = bestLCA
+		copy(clusters[bestC].lca, best)
 		unassigned[r] = false
 	}
 	return clusters, nil

@@ -36,6 +36,11 @@ type Options struct {
 	// those records are suppressed in the output. 0 (the default) is
 	// plain k-anonymity. Other algorithms currently ignore it.
 	MaxSuppression float64
+	// Interned, when non-nil, is the columnar interning of the input
+	// dataset (dataset.Intern(ds)). Validation reads per-column domains
+	// from its dictionaries instead of re-scanning every record, and batch
+	// callers share one interning across all configurations of a batch.
+	Interned *dataset.Indexed
 }
 
 // Result is the outcome of a relational algorithm run.
@@ -73,9 +78,15 @@ func (o *Options) validate(ds *dataset.Dataset) ([]int, []*hierarchy.Hierarchy, 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Every data value must be known to its hierarchy.
+	// Every data value must be known to its hierarchy. With a shared
+	// interning the per-column domain is already materialized in the
+	// dictionaries; otherwise Domain scans the records.
+	domain := ds.Domain
+	if ix := o.Interned; ix != nil && ix.N == len(ds.Records) && len(ix.Dicts) == len(ds.Attrs) {
+		domain = func(q int) []string { return ix.Dicts[q].Values() }
+	}
 	for i, q := range qis {
-		for _, v := range ds.Domain(q) {
+		for _, v := range domain(q) {
 			if !hh[i].Contains(v) {
 				return nil, nil, fmt.Errorf("relational: hierarchy %q misses value %q", ds.Attrs[q].Name, v)
 			}

@@ -108,6 +108,12 @@ type Options struct {
 	ItemHierarchy *hierarchy.Hierarchy
 	// Policy drives COAT/PCTA.
 	Policy *policy.Policy
+	// Interned, when non-nil, is the columnar interning of the input
+	// dataset (dataset.Intern(ds)). The merge traversal's k^m gating runs
+	// on its transaction IDs instead of re-interning the item domain, and
+	// batch callers (engine.Scheduler) share one interning across every
+	// configuration of a batch. Nil makes Anonymize intern once itself.
+	Interned *dataset.Indexed
 	// RelAlgo and TransAlgo pick the combination (see RelationalAlgos,
 	// TransactionAlgos).
 	RelAlgo   string
@@ -150,8 +156,14 @@ type cluster struct {
 	// lookup error).
 	relNodes []*hierarchy.Node
 	items    [][]string
-	clean    bool // no further merge processing needed
-	merges   int  // merge-chain length, bounded by maxMergeChain
+	// itemIDs mirrors items as dense IDs into the run's shared TxView —
+	// the representation every k^m gating check during the merge phase
+	// counts on. The inner slices alias the view (read-only); merging
+	// only appends to the outer list. Stale after a transaction-phase
+	// repair rewrites items, but no check runs after that point.
+	itemIDs [][]uint32
+	clean   bool // no further merge processing needed
+	merges  int  // merge-chain length, bounded by maxMergeChain
 }
 
 // resolveNodes caches the cluster signature's hierarchy nodes.
@@ -207,13 +219,21 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 	}
 
 	sw := timing.Start()
-	relRes, err := relRun(ds, relational.Options{Ctx: opts.Ctx, K: opts.K, QIs: opts.QIs, Hierarchies: opts.Hierarchies})
+	relRes, err := relRun(ds, relational.Options{Ctx: opts.Ctx, K: opts.K, QIs: opts.QIs, Hierarchies: opts.Hierarchies, Interned: interned(ds, opts)})
 	if err != nil {
 		return nil, fmt.Errorf("rt: relational phase (%s): %w", opts.RelAlgo, err)
 	}
 	sw.Mark("relational")
 
-	clusters := clustersFromClasses(ds, relRes.Anonymized, qis, hh)
+	// The item domain is interned once for the whole run (or inherited
+	// from the caller's batch-shared interning) and every merge-phase k^m
+	// check counts violations over the resulting IDs with one reusable
+	// counter — the seed re-interned each cluster's transactions and
+	// materialized full violation lists on every check just to take their
+	// length, which dominated the traversal's allocations.
+	view := txView(ds, opts)
+	counter := privacy.NewKMCounter(view)
+	clusters := clustersFromClasses(ds, relRes.Anonymized, qis, hh, view)
 	merges := 0
 	for {
 		// One traversal iteration scans clusters and scores merge
@@ -227,7 +247,7 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 			if c == nil || c.clean {
 				continue
 			}
-			if privacy.IsKMAnonymous(nonEmpty(c.items), opts.K, opts.M) {
+			if counter.Anonymous(opts.K, opts.M, c.itemIDs) {
 				c.clean = true
 				continue
 			}
@@ -238,7 +258,7 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 			break
 		}
 		c := clusters[dirtyIdx]
-		partner, delta := pickPartner(clusters, dirtyIdx, hh, opts)
+		partner, delta := pickPartner(clusters, dirtyIdx, hh, opts, counter)
 		if partner >= 0 && delta <= opts.Delta && (opts.UngatedMerges || c.merges < maxMergeChain) {
 			// Merge only when it actually helps the transaction side:
 			// the merged multiset must have strictly fewer violations
@@ -246,10 +266,9 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 			// combine support and clear k).
 			helps := opts.UngatedMerges
 			if !helps {
-				before := len(privacy.KMViolations(nonEmpty(c.items), opts.K, opts.M, 0)) +
-					len(privacy.KMViolations(nonEmpty(clusters[partner].items), opts.K, opts.M, 0))
-				merged := append(append([][]string(nil), c.items...), clusters[partner].items...)
-				after := len(privacy.KMViolations(nonEmpty(merged), opts.K, opts.M, 0))
+				before := counter.Count(opts.K, opts.M, 0, c.itemIDs) +
+					counter.Count(opts.K, opts.M, 0, clusters[partner].itemIDs)
+				after := counter.Count(opts.K, opts.M, 0, c.itemIDs, clusters[partner].itemIDs)
 				helps = after < before
 			}
 			if helps {
@@ -279,7 +298,7 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return nil, err
 		}
-		if privacy.IsKMAnonymous(nonEmpty(c.items), opts.K, opts.M) {
+		if counter.Anonymous(opts.K, opts.M, c.itemIDs) {
 			continue
 		}
 		repaired, err := repairCluster(ds, c, transRun, opts)
@@ -293,10 +312,12 @@ func Anonymize(ds *dataset.Dataset, opts Options) (*Result, error) {
 			for i := range c.items {
 				c.items[i] = nil
 			}
+			c.itemIDs = nil
 			suppressed++
 			continue
 		}
 		c.items = repaired
+		c.itemIDs = nil // repaired items are generalized; IDs are stale
 		transRepairs++
 	}
 	sw.Mark("transaction")
@@ -351,15 +372,42 @@ func transactionByName(name string) (func(*dataset.Dataset, transaction.Options)
 	return nil, fmt.Errorf("rt: unknown transaction algorithm %q (want one of %v)", name, TransactionAlgos)
 }
 
+// interned returns the caller-supplied batch interning when it matches
+// the dataset, nil otherwise (defensive: a stale or foreign interning
+// must not silently recode the wrong records).
+func interned(ds *dataset.Dataset, opts Options) *dataset.Indexed {
+	if opts.Interned != nil && opts.Interned.N == len(ds.Records) {
+		return opts.Interned
+	}
+	return nil
+}
+
+// txView resolves the run's shared transaction view: the batch interning
+// when the caller supplied one, a one-time interning of ds otherwise.
+func txView(ds *dataset.Dataset, opts Options) *privacy.TxView {
+	if ix := interned(ds, opts); ix != nil && ix.ItemDict != nil {
+		return privacy.TxViewOf(ix)
+	}
+	items := make([][]string, len(ds.Records))
+	for r := range ds.Records {
+		items[r] = ds.Records[r].Items
+	}
+	return privacy.InternTxView(items)
+}
+
 // clustersFromClasses rebuilds cluster state from the relational phase's
 // equivalence classes.
-func clustersFromClasses(orig, anon *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy) []*cluster {
+func clustersFromClasses(orig, anon *dataset.Dataset, qis []int, hh []*hierarchy.Hierarchy, view *privacy.TxView) []*cluster {
 	classes := privacy.Partition(anon, qis)
 	out := make([]*cluster, len(classes))
 	for i, cl := range classes {
 		c := &cluster{records: append([]int(nil), cl.Records...), relVals: cl.Signature}
 		c.resolveNodes(hh)
 		c.items = itemsOf(orig, c.records)
+		c.itemIDs = make([][]uint32, len(c.records))
+		for j, r := range c.records {
+			c.itemIDs[j] = view.Txs[r]
+		}
 		out[i] = c
 	}
 	return out
@@ -369,16 +417,6 @@ func itemsOf(ds *dataset.Dataset, records []int) [][]string {
 	out := make([][]string, len(records))
 	for i, r := range records {
 		out[i] = append([]string(nil), ds.Records[r].Items...)
-	}
-	return out
-}
-
-func nonEmpty(items [][]string) [][]string {
-	var out [][]string
-	for _, it := range items {
-		if len(it) > 0 {
-			out = append(out, it)
-		}
 	}
 	return out
 }
@@ -406,20 +444,45 @@ func relDelta(a, b *cluster, hh []*hierarchy.Hierarchy) (float64, []*hierarchy.N
 	return delta / float64(len(hh)), newNodes, nil
 }
 
+// relDeltaCost is relDelta without materializing the merged signature
+// nodes — the candidate-scoring scan only needs the cost, and runs
+// O(clusters) times per traversal step. The float operations are the
+// same sequence as relDelta's, so the scores (and the partner choice)
+// are bit-identical.
+func relDeltaCost(a, b *cluster, hh []*hierarchy.Hierarchy) (float64, error) {
+	if a.relNodes == nil || b.relNodes == nil {
+		return 0, fmt.Errorf("rt: cluster signature unknown to hierarchy")
+	}
+	delta := 0.0
+	na, nb := float64(len(a.records)), float64(len(b.records))
+	for i, h := range hh {
+		lca := hierarchy.LCANodes(a.relNodes[i], b.relNodes[i])
+		newNCP := h.NCPNode(lca)
+		aNCP := h.NCPNode(a.relNodes[i])
+		bNCP := h.NCPNode(b.relNodes[i])
+		cur := (aNCP*na + bNCP*nb) / (na + nb)
+		delta += newNCP - cur
+	}
+	return delta / float64(len(hh)), nil
+}
+
 // transCost estimates the transaction-side repair work remaining after
 // merging: the number of k^m violations in the merged multiset, normalized
-// by the merged item count.
-func transCost(a, b *cluster, k, m int) float64 {
-	merged := append(append([][]string(nil), a.items...), b.items...)
-	vs := privacy.KMViolations(nonEmpty(merged), k, m, 0)
+// by the merged item count. Counting runs on the clusters' shared item
+// IDs — no merged copy, no violation list.
+func transCost(a, b *cluster, k, m int, counter *privacy.KMCounter) float64 {
 	total := 0
-	for _, tr := range merged {
+	for _, tr := range a.itemIDs {
+		total += len(tr)
+	}
+	for _, tr := range b.itemIDs {
 		total += len(tr)
 	}
 	if total == 0 {
 		return 0
 	}
-	return float64(len(vs)) / float64(total)
+	vs := counter.Count(k, m, 0, a.itemIDs, b.itemIDs)
+	return float64(vs) / float64(total)
 }
 
 // ctxErr returns ctx's error, treating a nil context as never cancelled.
@@ -435,7 +498,7 @@ func ctxErr(ctx context.Context) error {
 // delta. Scoring every candidate pair is the traversal's hot path, so the
 // scan polls the options context and bails out with -1 when cancelled; the
 // caller's own poll then surfaces the context error.
-func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Options) (int, float64) {
+func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Options, counter *privacy.KMCounter) (int, float64) {
 	type cand struct {
 		j        int
 		rd       float64
@@ -450,13 +513,13 @@ func pickPartner(clusters []*cluster, i int, hh []*hierarchy.Hierarchy, opts Opt
 		if j == i || other == nil {
 			continue
 		}
-		rd, _, err := relDelta(clusters[i], other, hh)
+		rd, err := relDeltaCost(clusters[i], other, hh)
 		if err != nil {
 			continue
 		}
 		c := cand{j: j, rd: rd}
 		if opts.Flavor != RMerge {
-			c.tc = transCost(clusters[i], other, opts.K, opts.M)
+			c.tc = transCost(clusters[i], other, opts.K, opts.M, counter)
 		}
 		cands = append(cands, c)
 	}
@@ -509,6 +572,7 @@ func mergeClusters(clusters []*cluster, i, j int, hh []*hierarchy.Hierarchy) {
 	a.relNodes = newNodes
 	a.records = append(a.records, b.records...)
 	a.items = append(a.items, b.items...)
+	a.itemIDs = append(a.itemIDs, b.itemIDs...)
 	a.clean = false
 	a.merges += b.merges + 1
 	clusters[j] = nil

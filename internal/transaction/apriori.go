@@ -142,6 +142,12 @@ type aprioriState struct {
 	pairs  map[uint64]int32
 	packed map[string]*int32
 	buf    []byte
+
+	// candIDs/bestIDs are minViolation's reusable comparison buffers: the
+	// scan keeps only the name-wise smallest violating itemset, so per-
+	// candidate name slices and sort.Sort boxing would be pure garbage.
+	candIDs []int32
+	bestIDs []int32
 }
 
 func newAprioriState(ds *dataset.Dataset, idx []int, cut *hierarchy.Cut, h *hierarchy.Hierarchy, allowed map[string]bool) (*aprioriState, error) {
@@ -317,62 +323,77 @@ type violation struct {
 
 // minViolation returns the violating itemset that is smallest in
 // item-name order — exactly the first violation the seed's sorted scan
-// repaired — or nil when the level is clean.
+// repaired — or nil when the level is clean. The scan itself is
+// allocation-free: candidate IDs go through reusable buffers, names are
+// resolved lazily for comparisons, and the violation struct (with its
+// names) is built once for the winner.
 func (st *aprioriState) minViolation(k int) *violation {
-	var best *violation
-	consider := func(ids []int32, support int32) {
-		names := make([]string, len(ids))
-		for i, id := range ids {
-			names[i] = st.ix.Value(id)
+	if cap(st.candIDs) < st.size {
+		st.candIDs = make([]int32, st.size)
+		st.bestIDs = make([]int32, st.size)
+	}
+	cand := st.candIDs[:st.size]
+	best := st.bestIDs[:st.size]
+	haveBest := false
+	var bestSupport int32
+	// consider sorts cand by item name (hierarchy values are distinct, so
+	// the order matches the seed's sort.Sort) and keeps it iff it is
+	// strictly name-less than the running best — the seed's tie-break.
+	consider := func(support int32) {
+		for i := 1; i < len(cand); i++ {
+			for j := i; j > 0 && st.ix.Value(cand[j]) < st.ix.Value(cand[j-1]); j-- {
+				cand[j], cand[j-1] = cand[j-1], cand[j]
+			}
 		}
-		cand := &violation{ids: ids, names: names, support: support}
-		sort.Sort(byName{cand})
-		if best == nil || lessNames(cand.names, best.names) {
-			best = cand
+		if !haveBest || lessIDNames(st.ix, cand, best) {
+			copy(best, cand)
+			bestSupport = support
+			haveBest = true
 		}
 	}
 	switch st.size {
 	case 1:
 		for id, s := range st.single {
 			if s > 0 && s < int32(k) {
-				consider([]int32{int32(id)}, s)
+				cand[0] = int32(id)
+				consider(s)
 			}
 		}
 	case 2:
 		for key, s := range st.pairs {
 			if s < int32(k) {
-				consider([]int32{int32(uint32(key >> 32)), int32(uint32(key))}, s)
+				cand[0], cand[1] = int32(uint32(key>>32)), int32(uint32(key))
+				consider(s)
 			}
 		}
 	default:
 		for key, p := range st.packed {
 			if *p < int32(k) {
-				ids := make([]int32, st.size)
-				for i := range ids {
-					ids[i] = int32(uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3]))
+				for i := range cand {
+					cand[i] = int32(uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3]))
 				}
-				consider(ids, *p)
+				consider(*p)
 			}
 		}
 	}
-	return best
+	if !haveBest {
+		return nil
+	}
+	ids := append([]int32(nil), best...)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = st.ix.Value(id)
+	}
+	return &violation{ids: ids, names: names, support: bestSupport}
 }
 
-// byName sorts a violation's ids and names together by name.
-type byName struct{ v *violation }
-
-func (b byName) Len() int           { return len(b.v.ids) }
-func (b byName) Less(i, j int) bool { return b.v.names[i] < b.v.names[j] }
-func (b byName) Swap(i, j int) {
-	b.v.ids[i], b.v.ids[j] = b.v.ids[j], b.v.ids[i]
-	b.v.names[i], b.v.names[j] = b.v.names[j], b.v.names[i]
-}
-
-// lessNames compares equal-length name tuples lexicographically.
-func lessNames(a, b []string) bool {
+// lessIDNames compares equal-length, name-sorted ID tuples by their item
+// names lexicographically.
+func lessIDNames(ix *hierarchy.Index, a, b []int32) bool {
 	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
+		av, bv := ix.Value(a[i]), ix.Value(b[i])
+		if av != bv {
+			return av < bv
 		}
 	}
 	return false
