@@ -8,6 +8,7 @@ package secreta
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"secreta/internal/dataset"
@@ -192,6 +193,12 @@ func BenchmarkE8Workers(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			if p := runtime.GOMAXPROCS(0); p < workers {
+				// On a small box the extra goroutines just timeslice one
+				// core; the numbers would measure the scheduler, not the
+				// evaluator. Skip loudly so the harness records why.
+				b.Skipf("GOMAXPROCS=%d < workers=%d: scaling not measurable on this box", p, workers)
+			}
 			for i := 0; i < b.N; i++ {
 				for _, r := range engine.RunAll(f.ds, cfgs, workers) {
 					if r.Err != nil {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"secreta/internal/harness"
+)
+
+// The harness subcommands wrap internal/harness into the reproducible
+// experiment workflow (see docs/PERFORMANCE.md):
+//
+//	secreta-bench run      # execute the grid into paper_runs/<ts>/
+//	secreta-bench compare  # fresh gated measurement vs tracked baseline
+//	secreta-bench parse    # go test -bench output -> flat BENCH json
+//
+// Invoked without a subcommand, secreta-bench keeps its historical role:
+// the printed E1-E10 experiment reproductions (main.go).
+
+const defaultGridPath = "scripts/paper/experiments.json"
+
+// runHarnessCommand dispatches argv[1]; ok is false when argv names no
+// harness subcommand and the legacy experiment CLI should run instead.
+func runHarnessCommand(args []string) (ok bool) {
+	if len(args) < 2 {
+		return false
+	}
+	switch args[1] {
+	case "run":
+		cmdRun(args[2:])
+	case "compare":
+		cmdCompare(args[2:])
+	case "parse":
+		cmdParse(args[2:])
+	default:
+		return false
+	}
+	return true
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("secreta-bench run", flag.ExitOnError)
+	grid := fs.String("grid", defaultGridPath, "experiment grid (experiments.json)")
+	out := fs.String("out", "paper_runs", "parent directory for timestamped run folders")
+	label := fs.String("label", "", "label recorded in the emitted baseline")
+	repeats := fs.Int("repeats", 0, "override the grid's repeats")
+	warmup := fs.Int("warmup", 0, "override the grid's warmup runs")
+	benchtime := fs.String("benchtime", "", "override the grid's -benchtime")
+	gateOnly := fs.Bool("gate-only", false, "run only gated (hot-path) experiments")
+	fs.Parse(args)
+
+	g, err := harness.LoadGrid(*grid)
+	if err != nil {
+		fatal(err)
+	}
+	r := &harness.Runner{
+		Grid: g, RootDir: gridRoot(*grid), OutDir: *out, Label: *label,
+		Repeats: *repeats, Warmup: *warmup, Benchtime: *benchtime, GateOnly: *gateOnly,
+	}
+	res, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if err := harness.WriteSummaryMarkdown(os.Stdout, res.Baseline); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nrun folder: %s\n", res.Dir)
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("secreta-bench compare", flag.ExitOnError)
+	grid := fs.String("grid", defaultGridPath, "experiment grid (experiments.json)")
+	baselinePath := fs.String("baseline", "", "tracked baseline: a BENCH_n.json or a run's analysis/baseline.json (required)")
+	from := fs.String("from", "", "compare a recorded measurement file instead of running benchmarks")
+	repeats := fs.Int("repeats", 0, "override the grid's repeats for the fresh measurement")
+	benchtime := fs.String("benchtime", "", "override the grid's -benchtime")
+	nsTol := fs.Float64("ns-tolerance", 0, "default ns/op regression threshold (fraction; 0 = 0.20)")
+	allocTol := fs.Float64("alloc-tolerance", 0, "default allocs/op regression threshold (fraction; 0 = 0.10)")
+	selftest := fs.Bool("selftest", false, "verify the gate itself: must fail on baseline*1.25 and pass on baseline vs itself")
+	fs.Parse(args)
+
+	if *baselinePath == "" {
+		fatal(fmt.Errorf("compare: -baseline is required"))
+	}
+	base, err := harness.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	opts := harness.CompareOptions{NsTolerance: *nsTol, AllocTolerance: *allocTol}
+
+	if *selftest {
+		runSelftest(base, opts)
+		return
+	}
+
+	var current *harness.Baseline
+	if *from != "" {
+		if current, err = harness.LoadBaseline(*from); err != nil {
+			fatal(err)
+		}
+	} else {
+		g, err := harness.LoadGrid(*grid)
+		if err != nil {
+			fatal(err)
+		}
+		r := &harness.Runner{
+			Grid: g, RootDir: gridRoot(*grid), GateOnly: true,
+			Repeats: *repeats, Benchtime: *benchtime,
+		}
+		res, err := r.Measure()
+		if err != nil {
+			fatal(err)
+		}
+		current = res.Baseline
+		opts.Gate, opts.Overrides = harness.GateSpec(g, res.PerExperiment)
+	}
+
+	deltas := harness.Compare(base, current, opts)
+	harness.WriteReport(os.Stdout, deltas)
+	if fails := harness.Failures(deltas); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "\nFAIL: %d gated regression(s) against %s\n", len(fails), *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("\nPASS: no gated regressions against %s\n", *baselinePath)
+}
+
+// runSelftest proves the gate works before trusting it: an injected 25%
+// slowdown of the tracked baseline must fail, and the baseline compared
+// against itself must pass. MinGateRepeats drops to 1 because the
+// fixture is synthetic, not a noisy measurement.
+func runSelftest(base *harness.Baseline, opts harness.CompareOptions) {
+	opts.MinGateRepeats = 1
+	slow := harness.ScaleBaseline(base, 1.25, 1.25)
+	if fails := harness.Failures(harness.Compare(base, slow, opts)); len(fails) == 0 {
+		fatal(fmt.Errorf("selftest: gate did NOT fail on an injected 25%% slowdown"))
+	}
+	if fails := harness.Failures(harness.Compare(base, base, opts)); len(fails) > 0 {
+		fatal(fmt.Errorf("selftest: gate failed the baseline against itself: %+v", fails))
+	}
+	fmt.Println("selftest PASS: gate fails on +25% injected, passes on identity")
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("secreta-bench parse", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	parsed, err := harness.ParseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sk := range parsed.Skips {
+		fmt.Fprintf(os.Stderr, "parse: skipped %s: %s\n", sk.Name, sk.Reason)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := harness.WriteFlatJSON(w, parsed.Results); err != nil {
+		fatal(err)
+	}
+}
+
+// gridRoot infers the repository root from the grid path: the grid lives
+// at <root>/scripts/paper/experiments.json, so go test runs two levels
+// up from its directory. A grid outside that layout runs from cwd.
+func gridRoot(gridPath string) string {
+	dir := filepath.Dir(gridPath)
+	if filepath.Base(dir) == "paper" && filepath.Base(filepath.Dir(dir)) == "scripts" {
+		return filepath.Dir(filepath.Dir(dir))
+	}
+	return ""
+}

@@ -5,6 +5,12 @@
 //
 //	secreta-bench -exp all            # run everything
 //	secreta-bench -exp E2 -records 800
+//
+// It is also the perf-tracking workhorse (harness.go): `secreta-bench
+// run` executes the scripts/paper/experiments.json grid into a
+// timestamped paper_runs/ folder, `secreta-bench compare` gates a fresh
+// measurement against a tracked baseline, and `secreta-bench parse`
+// turns raw `go test -bench` output into the flat BENCH_n.json format.
 package main
 
 import (
@@ -58,6 +64,9 @@ var benches = []bench{
 }
 
 func main() {
+	if runHarnessCommand(os.Args) {
+		return
+	}
 	expFlag := flag.String("exp", "all", "experiment id (E1..E10) or 'all'")
 	records := flag.Int("records", 600, "dataset size")
 	items := flag.Int("items", 24, "item domain size")
@@ -299,6 +308,11 @@ func runE8(env *environment) error {
 	fmt.Printf("%8s %12s (8 configurations, %d CPUs)\n", "workers", "wall time", runtime.NumCPU())
 	base := time.Duration(0)
 	for _, workers := range []int{1, 2, 4, 8} {
+		if p := runtime.GOMAXPROCS(0); p < workers {
+			fmt.Printf("%8d %12s  skipped: GOMAXPROCS=%d < workers=%d, scaling not measurable\n",
+				workers, "—", p, workers)
+			continue
+		}
 		start := time.Now()
 		results := engine.RunAll(env.ds, cfgs, workers)
 		wall := time.Since(start)

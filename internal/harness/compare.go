@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Default regression-gate thresholds (fractions of the baseline). The
+// wall-clock threshold is loose because timing is noisy even on an idle
+// box; the allocation threshold is tight because allocs/op is nearly
+// deterministic — an alloc regression is real code, not scheduling luck.
+const (
+	DefaultNsTolerance    = 0.20
+	DefaultAllocTolerance = 0.10
+	// DefaultMinGateRepeats is how many fresh repeats a wall-clock
+	// verdict needs before it is allowed to fail the build: a single
+	// noisy run must not gate.
+	DefaultMinGateRepeats = 3
+)
+
+// Tolerance is a per-benchmark threshold override.
+type Tolerance struct {
+	Ns    float64
+	Alloc float64
+}
+
+// CompareOptions configures a comparison.
+type CompareOptions struct {
+	// NsTolerance / AllocTolerance are the default thresholds; zero
+	// selects the package defaults.
+	NsTolerance    float64
+	AllocTolerance float64
+	// MinGateRepeats gates wall-clock verdicts (zero: default 3).
+	MinGateRepeats int
+	// Gate restricts gating to these benchmark names. Nil gates every
+	// benchmark present on both sides (the offline/self-test mode);
+	// an empty non-nil map gates nothing.
+	Gate map[string]bool
+	// Overrides supplies per-benchmark tolerances (from the grid).
+	Overrides map[string]Tolerance
+}
+
+func (o *CompareOptions) fill() {
+	if o.NsTolerance == 0 {
+		o.NsTolerance = DefaultNsTolerance
+	}
+	if o.AllocTolerance == 0 {
+		o.AllocTolerance = DefaultAllocTolerance
+	}
+	if o.MinGateRepeats == 0 {
+		o.MinGateRepeats = DefaultMinGateRepeats
+	}
+}
+
+// DeltaStatus classifies one benchmark's comparison outcome.
+type DeltaStatus string
+
+const (
+	StatusOK       DeltaStatus = "ok"
+	StatusRegress  DeltaStatus = "regression"
+	StatusImproved DeltaStatus = "improved"
+	// StatusMissing: in the baseline but not measured now (and not
+	// recorded as skipped) — suspicious, but not a perf regression.
+	StatusMissing DeltaStatus = "missing"
+	// StatusSkipped: not measured now because the benchmark skipped
+	// itself (e.g. workers > GOMAXPROCS on a small box).
+	StatusSkipped DeltaStatus = "skipped"
+	// StatusNew: measured now but absent from the baseline.
+	StatusNew DeltaStatus = "new"
+)
+
+// Delta is one benchmark's baseline-vs-current verdict.
+type Delta struct {
+	Name   string      `json:"name"`
+	Status DeltaStatus `json:"status"`
+	Gated  bool        `json:"gated"`
+	// Wall clock: best-of-repeats on both sides (min is the least noisy
+	// location estimator for benchmark timings), the ratio, and the
+	// effective limit after noise widening.
+	NsBase, NsCur, NsRatio, NsLimit float64
+	// Allocations: mean-of-repeats (allocs are near-deterministic).
+	AllocBase, AllocCur, AllocRatio, AllocLimit float64
+	HasAlloc                                    bool
+	// Notes carries human context ("low repeats: wall-clock not gating").
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Compare diffs current against baseline benchmark by benchmark. The
+// thresholds are noise-aware: each side's coefficient of variation widens
+// the limit, so a benchmark whose baseline wobbles ±8% is not failed for
+// wobbling ±8% again. Wall-clock verdicts additionally require
+// MinGateRepeats fresh repeats; allocation verdicts gate from a single
+// repeat because allocs/op does not wobble.
+func Compare(baseline, current *Baseline, opts CompareOptions) []Delta {
+	opts.fill()
+	baseBy := baseline.ByName()
+	curBy := current.ByName()
+	curSkipped := current.SkippedSet()
+
+	names := make([]string, 0, len(baseBy)+len(curBy))
+	for n := range baseBy {
+		names = append(names, n)
+	}
+	for n := range curBy {
+		if _, ok := baseBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	gated := func(name string) bool {
+		if opts.Gate == nil {
+			return true
+		}
+		return opts.Gate[name]
+	}
+	tol := func(name string) Tolerance {
+		t := Tolerance{Ns: opts.NsTolerance, Alloc: opts.AllocTolerance}
+		if ov, ok := opts.Overrides[name]; ok {
+			if ov.Ns > 0 {
+				t.Ns = ov.Ns
+			}
+			if ov.Alloc > 0 {
+				t.Alloc = ov.Alloc
+			}
+		}
+		return t
+	}
+
+	var out []Delta
+	for _, name := range names {
+		base, inBase := baseBy[name]
+		cur, inCur := curBy[name]
+		if inBase && !inCur && !curSkipped[name] && opts.Gate != nil && !opts.Gate[name] {
+			// A gated comparison measures only the gate set; baseline
+			// entries outside it are out of scope, not "missing".
+			continue
+		}
+		d := Delta{Name: name, Gated: gated(name) && inBase && inCur}
+		switch {
+		case !inCur && curSkipped[name]:
+			d.Status = StatusSkipped
+			d.Notes = append(d.Notes, "benchmark skipped itself on this box; baseline entry not checked")
+		case !inCur:
+			d.Status = StatusMissing
+			d.Notes = append(d.Notes, "in the baseline but produced no measurement (renamed? deleted?)")
+		case !inBase:
+			d.Status = StatusNew
+		default:
+			compareOne(&d, base, cur, tol(name), opts.MinGateRepeats)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// compareOne fills the numeric verdict for a benchmark measured on both
+// sides.
+func compareOne(d *Delta, base, cur Summary, t Tolerance, minReps int) {
+	d.NsBase, d.NsCur = base.NsOp.Min, cur.NsOp.Min
+	d.NsLimit = t.Ns + base.NsOp.CV + cur.NsOp.CV
+	if d.NsBase > 0 {
+		d.NsRatio = d.NsCur / d.NsBase
+	}
+	nsGates := cur.Repeats >= minReps
+	if !nsGates {
+		d.Notes = append(d.Notes,
+			fmt.Sprintf("only %d repeat(s) (<%d): wall-clock verdict informational", cur.Repeats, minReps))
+	}
+
+	d.HasAlloc = base.HasMem && cur.HasMem
+	allocRegress := false
+	if d.HasAlloc {
+		d.AllocBase, d.AllocCur = base.AllocsOp.Mean, cur.AllocsOp.Mean
+		d.AllocLimit = t.Alloc + base.AllocsOp.CV + cur.AllocsOp.CV
+		if d.AllocBase > 0 {
+			d.AllocRatio = d.AllocCur / d.AllocBase
+		}
+		allocRegress = d.AllocBase > 0 && d.AllocRatio > 1+d.AllocLimit
+	}
+	nsRegress := nsGates && d.NsBase > 0 && d.NsRatio > 1+d.NsLimit
+
+	switch {
+	case nsRegress || allocRegress:
+		d.Status = StatusRegress
+		if nsRegress {
+			d.Notes = append(d.Notes, fmt.Sprintf("ns/op %.0f -> %.0f (%+.1f%%, limit +%.1f%%)",
+				d.NsBase, d.NsCur, 100*(d.NsRatio-1), 100*d.NsLimit))
+		}
+		if allocRegress {
+			d.Notes = append(d.Notes, fmt.Sprintf("allocs/op %.0f -> %.0f (%+.1f%%, limit +%.1f%%)",
+				d.AllocBase, d.AllocCur, 100*(d.AllocRatio-1), 100*d.AllocLimit))
+		}
+	case d.NsBase > 0 && d.NsRatio < 1/(1+d.NsLimit),
+		d.HasAlloc && d.AllocBase > 0 && d.AllocRatio < 1/(1+d.AllocLimit):
+		d.Status = StatusImproved
+	default:
+		d.Status = StatusOK
+	}
+}
+
+// ScaleBaseline returns a copy of b with every benchmark's wall-clock
+// and allocation statistics multiplied by the given factors. It exists
+// for the gate's self-test: scaling a tracked baseline by 1.25 fabricates
+// the "25% slowdown" fixture the gate must demonstrably fail on, without
+// committing numbers that go stale when the baseline moves.
+func ScaleBaseline(b *Baseline, nsFactor, allocFactor float64) *Baseline {
+	out := *b
+	out.Summaries = make([]Summary, len(b.Summaries))
+	for i, s := range b.Summaries {
+		s.NsOp = scaleStat(s.NsOp, nsFactor)
+		s.AllocsOp = scaleStat(s.AllocsOp, allocFactor)
+		s.BOp = scaleStat(s.BOp, allocFactor)
+		out.Summaries[i] = s
+	}
+	return &out
+}
+
+func scaleStat(s Stat, f float64) Stat {
+	s.Mean *= f
+	s.Std *= f
+	s.Min *= f
+	s.Max *= f
+	return s
+}
+
+// Failures returns the gated regressions — the deltas that should fail a
+// CI build.
+func Failures(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Gated && d.Status == StatusRegress {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteReport renders the comparison as a fixed-width table plus notes.
+func WriteReport(w io.Writer, deltas []Delta) {
+	fmt.Fprintf(w, "%-58s %10s %10s %8s %8s  %s\n",
+		"benchmark", "ns/op", "allocs", "Δns", "Δallocs", "status")
+	for _, d := range deltas {
+		mark := ""
+		if d.Gated {
+			mark = " [gate]"
+		}
+		switch d.Status {
+		case StatusMissing, StatusSkipped, StatusNew:
+			fmt.Fprintf(w, "%-58s %10s %10s %8s %8s  %s%s\n", d.Name, "—", "—", "—", "—", d.Status, mark)
+		default:
+			allocs, dAllocs := "—", "—"
+			if d.HasAlloc {
+				allocs = fmt.Sprintf("%.0f", d.AllocCur)
+				dAllocs = fmt.Sprintf("%+.1f%%", 100*(d.AllocRatio-1))
+			}
+			fmt.Fprintf(w, "%-58s %10.0f %10s %7.1f%% %8s  %s%s\n",
+				d.Name, d.NsCur, allocs, 100*(d.NsRatio-1), dAllocs, d.Status, mark)
+		}
+		for _, n := range d.Notes {
+			fmt.Fprintf(w, "    %s\n", n)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// flatBaseline builds a single-repeat baseline the way a tracked
+// BENCH_n.json loads.
+func flatBaseline(entries map[string][2]float64) *Baseline {
+	b := &Baseline{Repeats: 1}
+	for name, v := range entries {
+		b.Summaries = append(b.Summaries, Summary{
+			Name: name, Repeats: 1,
+			NsOp:     point(v[0]),
+			AllocsOp: point(v[1]),
+			BOp:      point(v[1] * 64),
+			HasMem:   true,
+		})
+	}
+	return b
+}
+
+// measured builds a fresh-run summary with the given repeat count and
+// optional CV on ns/op.
+func measured(name string, ns, allocs float64, repeats int, nsCV float64) Summary {
+	s := Summary{
+		Name: name, Repeats: repeats, HasMem: true,
+		NsOp:     Stat{Mean: ns, Min: ns, Max: ns, CV: nsCV, Std: ns * nsCV},
+		AllocsOp: point(allocs),
+		BOp:      point(allocs * 64),
+	}
+	return s
+}
+
+func deltaByName(t *testing.T, deltas []Delta, name string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", name, deltas)
+	return Delta{}
+}
+
+// TestCompareInjectedRegression is the CI-gate proof: a synthetic 25%
+// ns/op slowdown on a hot path must fail at the default 20% threshold,
+// and a 25% allocs/op growth must fail at the default 10% threshold.
+func TestCompareInjectedRegression(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{
+		"p.BenchmarkHot":  {1_000_000, 1000},
+		"p.BenchmarkCold": {2_000_000, 500},
+	})
+	cur := &Baseline{Repeats: 3, Summaries: []Summary{
+		measured("p.BenchmarkHot", 1_250_000, 1000, 3, 0), // +25% wall
+		measured("p.BenchmarkCold", 2_000_000, 650, 3, 0), // +30% allocs
+	}}
+	deltas := Compare(base, cur, CompareOptions{})
+	if n := len(Failures(deltas)); n != 2 {
+		t.Fatalf("failures = %d, want 2: %+v", n, deltas)
+	}
+	hot := deltaByName(t, deltas, "p.BenchmarkHot")
+	if hot.Status != StatusRegress || !hot.Gated {
+		t.Fatalf("hot delta = %+v, want gated regression", hot)
+	}
+	cold := deltaByName(t, deltas, "p.BenchmarkCold")
+	if cold.Status != StatusRegress {
+		t.Fatalf("cold delta = %+v, want alloc regression", cold)
+	}
+	// The report must name the regressions.
+	var buf bytes.Buffer
+	WriteReport(&buf, deltas)
+	if !strings.Contains(buf.String(), "regression") {
+		t.Fatalf("report lacks regression marker:\n%s", buf.String())
+	}
+}
+
+// TestCompareNoiseDoesNotFlake: measurements inside the threshold, and
+// measurements whose spread (CV) explains the excursion, must pass — the
+// gate is noise-aware, not a tripwire.
+func TestCompareNoiseDoesNotFlake(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{"p.BenchmarkHot": {1_000_000, 1000}})
+
+	// +15% wall clock: inside the 20% threshold.
+	cur := &Baseline{Repeats: 3, Summaries: []Summary{measured("p.BenchmarkHot", 1_150_000, 1000, 3, 0)}}
+	if fails := Failures(Compare(base, cur, CompareOptions{})); len(fails) != 0 {
+		t.Fatalf("+15%% failed the 20%% gate: %+v", fails)
+	}
+
+	// +25% wall clock but the fresh run wobbles at CV=8%: the widened
+	// limit (20% + 8%) absorbs it.
+	noisy := &Baseline{Repeats: 3, Summaries: []Summary{measured("p.BenchmarkHot", 1_250_000, 1000, 3, 0.08)}}
+	if fails := Failures(Compare(base, noisy, CompareOptions{})); len(fails) != 0 {
+		t.Fatalf("noise-widened comparison flaked: %+v", fails)
+	}
+
+	// A noisy baseline widens the limit the same way.
+	noisyBase := &Baseline{Repeats: 5, Summaries: []Summary{measured("p.BenchmarkHot", 1_000_000, 1000, 5, 0.10)}}
+	cur25 := &Baseline{Repeats: 3, Summaries: []Summary{measured("p.BenchmarkHot", 1_250_000, 1000, 3, 0)}}
+	if fails := Failures(Compare(noisyBase, cur25, CompareOptions{})); len(fails) != 0 {
+		t.Fatalf("baseline CV not honored: %+v", fails)
+	}
+
+	// +8% allocs: inside the 10% threshold.
+	allocOK := &Baseline{Repeats: 3, Summaries: []Summary{measured("p.BenchmarkHot", 1_000_000, 1080, 3, 0)}}
+	if fails := Failures(Compare(base, allocOK, CompareOptions{})); len(fails) != 0 {
+		t.Fatalf("+8%% allocs failed the 10%% gate: %+v", fails)
+	}
+}
+
+// TestCompareRepeatGate: a wall-clock regression from fewer than 3
+// repeats must not gate (one noisy run is not evidence), but an alloc
+// regression gates even from a single repeat.
+func TestCompareRepeatGate(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{"p.BenchmarkHot": {1_000_000, 1000}})
+	oneRep := &Baseline{Repeats: 1, Summaries: []Summary{measured("p.BenchmarkHot", 1_500_000, 1000, 1, 0)}}
+	if fails := Failures(Compare(base, oneRep, CompareOptions{})); len(fails) != 0 {
+		t.Fatalf("single-repeat wall clock gated: %+v", fails)
+	}
+	oneRepAlloc := &Baseline{Repeats: 1, Summaries: []Summary{measured("p.BenchmarkHot", 1_000_000, 2000, 1, 0)}}
+	fails := Failures(Compare(base, oneRepAlloc, CompareOptions{}))
+	if len(fails) != 1 {
+		t.Fatalf("single-repeat alloc regression did not gate: %+v", fails)
+	}
+}
+
+func TestCompareStatuses(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{
+		"p.BenchmarkGone":    {1_000_000, 1000},
+		"p.BenchmarkSkipped": {1_000_000, 1000},
+		"p.BenchmarkFaster":  {1_000_000, 1000},
+	})
+	cur := &Baseline{
+		Repeats: 3,
+		Summaries: []Summary{
+			measured("p.BenchmarkFaster", 400_000, 500, 3, 0),
+			measured("p.BenchmarkNew", 100, 10, 3, 0),
+		},
+		Skipped: []Skip{{Name: "p.BenchmarkSkipped", Reason: "GOMAXPROCS=1 < workers=8"}},
+	}
+	deltas := Compare(base, cur, CompareOptions{})
+	if got := deltaByName(t, deltas, "p.BenchmarkGone").Status; got != StatusMissing {
+		t.Errorf("gone = %s, want missing", got)
+	}
+	if got := deltaByName(t, deltas, "p.BenchmarkSkipped").Status; got != StatusSkipped {
+		t.Errorf("skipped = %s, want skipped", got)
+	}
+	if got := deltaByName(t, deltas, "p.BenchmarkFaster").Status; got != StatusImproved {
+		t.Errorf("faster = %s, want improved", got)
+	}
+	if got := deltaByName(t, deltas, "p.BenchmarkNew").Status; got != StatusNew {
+		t.Errorf("new = %s, want new", got)
+	}
+	// None of these is a gating failure.
+	if fails := Failures(deltas); len(fails) != 0 {
+		t.Fatalf("status-only deltas gated: %+v", fails)
+	}
+}
+
+// TestCompareGateSetAndOverrides: only named benchmarks gate when a gate
+// set is supplied, and per-benchmark tolerances override the defaults.
+func TestCompareGateSetAndOverrides(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{
+		"p.BenchmarkHot":  {1_000_000, 1000},
+		"p.BenchmarkInfo": {1_000_000, 1000},
+	})
+	cur := &Baseline{Repeats: 3, Summaries: []Summary{
+		measured("p.BenchmarkHot", 1_300_000, 1000, 3, 0),
+		measured("p.BenchmarkInfo", 2_000_000, 2000, 3, 0),
+	}}
+	opts := CompareOptions{Gate: map[string]bool{"p.BenchmarkHot": true}}
+	fails := Failures(Compare(base, cur, opts))
+	if len(fails) != 1 || fails[0].Name != "p.BenchmarkHot" {
+		t.Fatalf("gate set not honored: %+v", fails)
+	}
+
+	// A 50% ns tolerance override lets the +30% hot path pass.
+	opts.Overrides = map[string]Tolerance{"p.BenchmarkHot": {Ns: 0.50}}
+	if fails := Failures(Compare(base, cur, opts)); len(fails) != 0 {
+		t.Fatalf("tolerance override not honored: %+v", fails)
+	}
+}
+
+// TestSelfComparePasses: a baseline compared against itself must never
+// fail — the identity case the CI gate's self-test asserts.
+func TestSelfComparePasses(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{
+		"p.BenchmarkA": {1_000_000, 1000},
+		"p.BenchmarkB": {50_000, 12},
+	})
+	if fails := Failures(Compare(base, base, CompareOptions{})); len(fails) != 0 {
+		t.Fatalf("self-comparison failed: %+v", fails)
+	}
+}
+
+// TestScaleForSelfTest pins the helper the CLI self-test uses to inject
+// a synthetic slowdown.
+func TestScaleForSelfTest(t *testing.T) {
+	base := flatBaseline(map[string][2]float64{"p.BenchmarkA": {1_000_000, 1000}})
+	scaled := ScaleBaseline(base, 1.25, 1.25)
+	fails := Failures(Compare(base, scaled, CompareOptions{MinGateRepeats: 1}))
+	if len(fails) != 1 {
+		t.Fatalf("injected 25%% slowdown not caught: %+v", fails)
+	}
+	if base.Summaries[0].NsOp.Mean != 1_000_000 {
+		t.Fatal("ScaleBaseline mutated its input")
+	}
+}

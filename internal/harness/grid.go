@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Experiment is one row of the grid: a benchmark pattern over a set of
+// packages, plus its regression-gate posture.
+type Experiment struct {
+	// ID names the experiment in logs, CSV rows and run folders.
+	ID string `json:"id"`
+	// Packages are `go test` package patterns (e.g. "./internal/privacy").
+	Packages []string `json:"packages"`
+	// Pattern is the -bench regexp.
+	Pattern string `json:"pattern"`
+	// Gate marks hot-path experiments the CI regression gate fails on.
+	// Ungated experiments still run and are summarized, but a regression
+	// in them only warns.
+	Gate bool `json:"gate,omitempty"`
+	// NsTolerance/AllocTolerance override the comparator's default
+	// per-benchmark thresholds (fractions: 0.20 = fail beyond +20%).
+	// Zero means "use the default".
+	NsTolerance    float64 `json:"ns_tolerance,omitempty"`
+	AllocTolerance float64 `json:"alloc_tolerance,omitempty"`
+	// Benchtime overrides the grid-level benchtime for this experiment
+	// (the long end-to-end suites run fewer iterations than the micro
+	// benchmarks).
+	Benchtime string `json:"benchtime,omitempty"`
+}
+
+// Grid is the experiments.json schema: the full benchmark grid plus the
+// measurement protocol (repeats, warmup, benchtime).
+type Grid struct {
+	// Benchtime is the default -benchtime per invocation.
+	Benchtime string `json:"benchtime"`
+	// Repeats is how many independent measured invocations each
+	// experiment gets; the analyzer groups across them. The regression
+	// gate needs >= MinGateRepeats to trust a wall-clock verdict.
+	Repeats int `json:"repeats"`
+	// Warmup is how many unmeasured invocations precede the repeats
+	// (page cache, CPU frequency, JIT-less but still: first-run effects).
+	Warmup      int          `json:"warmup"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// LoadGrid reads and validates an experiments.json.
+func LoadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading grid: %w", err)
+	}
+	var g Grid
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("harness: parsing grid %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: grid %s: %w", path, err)
+	}
+	return &g, nil
+}
+
+// Validate checks the grid is runnable.
+func (g *Grid) Validate() error {
+	if g.Repeats < 1 {
+		return fmt.Errorf("repeats must be >= 1, got %d", g.Repeats)
+	}
+	if g.Warmup < 0 {
+		return fmt.Errorf("warmup must be >= 0, got %d", g.Warmup)
+	}
+	if g.Benchtime != "" {
+		if err := validBenchtime(g.Benchtime); err != nil {
+			return err
+		}
+	}
+	if len(g.Experiments) == 0 {
+		return fmt.Errorf("grid has no experiments")
+	}
+	seen := make(map[string]bool)
+	for i, e := range g.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("experiment %d has no id", i)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Packages) == 0 {
+			return fmt.Errorf("experiment %s has no packages", e.ID)
+		}
+		if e.Pattern == "" {
+			return fmt.Errorf("experiment %s has no pattern", e.ID)
+		}
+		if e.NsTolerance < 0 || e.AllocTolerance < 0 {
+			return fmt.Errorf("experiment %s has a negative tolerance", e.ID)
+		}
+		if e.Benchtime != "" {
+			if err := validBenchtime(e.Benchtime); err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Gated returns the experiments the regression gate runs.
+func (g *Grid) Gated() []Experiment {
+	var out []Experiment
+	for _, e := range g.Experiments {
+		if e.Gate {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// validBenchtime accepts go test's -benchtime grammar: a duration
+// ("2s", "100ms") or an iteration count ("1x", "100x").
+func validBenchtime(s string) error {
+	if n := len(s); n > 1 && s[n-1] == 'x' {
+		for _, c := range s[:n-1] {
+			if c < '0' || c > '9' {
+				return fmt.Errorf("invalid benchtime %q", s)
+			}
+		}
+		return nil
+	}
+	if _, err := time.ParseDuration(s); err != nil {
+		return fmt.Errorf("invalid benchtime %q", s)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: secreta/internal/privacy
+cpu: AMD EPYC 7B13
+BenchmarkPartition-8   	    1726	    734543 ns/op	  288360 B/op	    1424 allocs/op
+BenchmarkKMViolationsM2-8   	    2000	    592178 ns/op	  218072 B/op	    2419 allocs/op
+PASS
+ok  	secreta/internal/privacy	4.1s
+pkg: secreta/internal/transaction
+BenchmarkApriori-8   	     244	   4885893 ns/op	 1247692 B/op	   11443 allocs/op
+PASS
+ok  	secreta/internal/transaction	3.0s
+pkg: secreta
+BenchmarkE2AREvsDelta-8   	       7	 170577177 ns/op	         0.1931 ARE@maxdelta	160890504 B/op	  507707 allocs/op
+BenchmarkE8Workers/workers=1-8         	      31	  37218171 ns/op	 9562656 B/op	   69132 allocs/op
+--- SKIP: BenchmarkE8Workers/workers=8
+    bench_test.go:199: GOMAXPROCS=1 < workers=8: parallel scaling would not be exercised
+PASS
+ok  	secreta	9.2s
+`
+
+func TestParseBench(t *testing.T) {
+	p, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		ns     float64
+		allocs float64
+	}{
+		"secreta/internal/privacy.BenchmarkPartition":      {734543, 1424},
+		"secreta/internal/privacy.BenchmarkKMViolationsM2": {592178, 2419},
+		"secreta/internal/transaction.BenchmarkApriori":    {4885893, 11443},
+		"secreta.BenchmarkE2AREvsDelta":                    {170577177, 507707},
+		"secreta.BenchmarkE8Workers/workers=1":             {37218171, 69132},
+	}
+	if len(p.Results) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(p.Results), len(want), p.Results)
+	}
+	for _, r := range p.Results {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected result %q", r.Name)
+			continue
+		}
+		if r.NsOp != w.ns {
+			t.Errorf("%s ns_op = %v, want %v", r.Name, r.NsOp, w.ns)
+		}
+		if a, ok := deref(r.AllocsOp); !ok || a != w.allocs {
+			t.Errorf("%s allocs_op = %v, want %v", r.Name, r.AllocsOp, w.allocs)
+		}
+	}
+	if len(p.Skips) != 1 {
+		t.Fatalf("skips = %+v, want exactly one", p.Skips)
+	}
+	sk := p.Skips[0]
+	if sk.Name != "secreta.BenchmarkE8Workers/workers=8" {
+		t.Errorf("skip name = %q", sk.Name)
+	}
+	if !strings.Contains(sk.Reason, "GOMAXPROCS=1") {
+		t.Errorf("skip reason = %q, want the GOMAXPROCS diagnostic", sk.Reason)
+	}
+}
+
+func TestParseBenchTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		results int
+		skips   int
+		wantErr string
+	}{
+		{name: "empty", in: "", results: 0},
+		{name: "no pkg header keeps bare name", in: "BenchmarkX-4 10 100 ns/op\n", results: 1},
+		{name: "without benchmem", in: "pkg: p\nBenchmarkX-4 10 100 ns/op\n", results: 1},
+		{name: "fractional ns", in: "pkg: p\nBenchmarkY-4 1000000000 0.5021 ns/op\n", results: 1},
+		{
+			name:    "duplicate names fail loudly",
+			in:      "pkg: p\nBenchmarkX-4 10 100 ns/op\nBenchmarkX-4 10 100 ns/op\n",
+			wantErr: "duplicate benchmark name p.BenchmarkX",
+		},
+		{
+			name:    "same leaf name in two packages is fine",
+			in:      "pkg: p1\nBenchmarkX-4 10 100 ns/op\npkg: p2\nBenchmarkX-4 10 100 ns/op\n",
+			results: 2,
+		},
+		{name: "malformed value errors", in: "pkg: p\nBenchmarkX-4 10 abc ns/op\n", wantErr: "malformed bench line"},
+		{name: "skip without reason", in: "pkg: p\n--- SKIP: BenchmarkZ/w=8\nPASS\n", skips: 1},
+		{
+			// go test -v prints the b.Skipf log line BEFORE the SKIP header.
+			name: "verbose skip reason precedes header",
+			in: "pkg: p\nBenchmarkZ/w=8\n    bench_test.go:200: GOMAXPROCS=1 < workers=8: nope\n" +
+				"--- SKIP: BenchmarkZ/w=8\nPASS\n",
+			skips: 1,
+		},
+		{name: "bare Benchmark line ignored", in: "pkg: p\nBenchmarkLongName\n", results: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParseBench(strings.NewReader(tc.in))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Results) != tc.results {
+				t.Errorf("results = %d, want %d (%+v)", len(p.Results), tc.results, p.Results)
+			}
+			if len(p.Skips) != tc.skips {
+				t.Errorf("skips = %d, want %d (%+v)", len(p.Skips), tc.skips, p.Skips)
+			}
+		})
+	}
+}
+
+// TestWriteFlatJSON pins the BENCH_n.json wire format the awk parser
+// produced, so the jq recipes and tracked baselines keep working.
+func TestWriteFlatJSON(t *testing.T) {
+	results := []Result{
+		{Name: "p.BenchmarkX", NsOp: 734543, BOp: fptr(288360), AllocsOp: fptr(1424)},
+		{Name: "p.BenchmarkY", NsOp: 0.5021},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlatJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {"name": "p.BenchmarkX", "ns_op": 734543, "b_op": 288360, "allocs_op": 1424},
+  {"name": "p.BenchmarkY", "ns_op": 0.5021, "b_op": null, "allocs_op": null}
+]
+`
+	if buf.String() != want {
+		t.Fatalf("flat JSON:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// The flat form must round-trip through the baseline loader.
+	b, err := ParseBaseline(buf.Bytes(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Summaries) != 2 || b.Summaries[0].NsOp.Mean != 734543 || !b.Summaries[0].HasMem || b.Summaries[1].HasMem {
+		t.Fatalf("round-tripped baseline: %+v", b.Summaries)
+	}
+}
+
+// TestParseVerboseSkipReason pins the -v layout: the b.Skipf log line
+// precedes the SKIP header, and the "file.go:NN: " log site is stripped.
+func TestParseVerboseSkipReason(t *testing.T) {
+	in := "pkg: secreta\nBenchmarkE8Workers/workers=1-8 \t 31 \t 37218171 ns/op\n" +
+		"BenchmarkE8Workers/workers=8\n" +
+		"    bench_test.go:200: GOMAXPROCS=1 < workers=8: scaling not measurable on this box\n" +
+		"--- SKIP: BenchmarkE8Workers/workers=8\nPASS\n"
+	p, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Skips) != 1 {
+		t.Fatalf("skips = %d, want 1", len(p.Skips))
+	}
+	want := "GOMAXPROCS=1 < workers=8: scaling not measurable on this box"
+	if p.Skips[0].Reason != want {
+		t.Errorf("reason = %q, want %q (log site stripped)", p.Skips[0].Reason, want)
+	}
+	if p.Skips[0].Name != "secreta.BenchmarkE8Workers/workers=8" {
+		t.Errorf("name = %q", p.Skips[0].Name)
+	}
+}

@@ -1,0 +1,316 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Runner executes an experiment grid and materializes run folders. The
+// zero value is not usable; set Grid at least. Exec is a seam for tests:
+// it runs one `go test -bench` invocation and returns its combined
+// output (nil uses the real go toolchain).
+type Runner struct {
+	Grid *Grid
+	// RootDir is the repository root go test runs from ("" = cwd).
+	RootDir string
+	// OutDir is the parent of timestamped run folders (default
+	// "paper_runs", resolved under RootDir when relative).
+	OutDir string
+	// Label annotates the emitted baseline ("pr7-candidate").
+	Label string
+	// Repeats/Warmup/Benchtime override the grid when non-zero/non-empty.
+	Repeats   int
+	Warmup    int
+	Benchtime string
+	// GateOnly restricts execution to gated experiments — the fast
+	// hot-path subset the CI regression gate measures.
+	GateOnly bool
+	// Log receives progress lines (default os.Stderr).
+	Log  io.Writer
+	Exec func(exp Experiment, benchtime string) ([]byte, error)
+}
+
+// RunOutput is what a grid execution produced.
+type RunOutput struct {
+	// Dir is the run folder ("" for folderless measurements).
+	Dir      string
+	Baseline *Baseline
+	// PerExperiment maps experiment ID to the benchmark names it
+	// measured, so per-experiment tolerances can be applied per
+	// benchmark.
+	PerExperiment map[string][]string
+}
+
+func (r *Runner) log(format string, args ...any) {
+	w := r.Log
+	if w == nil {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+func (r *Runner) exec(exp Experiment, benchtime string) ([]byte, error) {
+	if r.Exec != nil {
+		return r.Exec(exp, benchtime)
+	}
+	// -v so skipped sub-benchmarks surface as "--- SKIP" lines; without
+	// it a benchmark that skips itself (E8 on a small box) is
+	// indistinguishable from one that vanished.
+	args := []string{"test", "-run", "^$", "-bench", exp.Pattern, "-benchmem", "-benchtime", benchtime, "-v"}
+	args = append(args, exp.Packages...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = r.RootDir
+	return cmd.CombinedOutput()
+}
+
+func (r *Runner) experiments() []Experiment {
+	if r.GateOnly {
+		return r.Grid.Gated()
+	}
+	return r.Grid.Experiments
+}
+
+func (r *Runner) protocol() (repeats, warmup int, benchtime string) {
+	repeats, warmup, benchtime = r.Grid.Repeats, r.Grid.Warmup, r.Grid.Benchtime
+	if r.Repeats > 0 {
+		repeats = r.Repeats
+	}
+	if r.Warmup > 0 {
+		warmup = r.Warmup
+	}
+	if r.Benchtime != "" {
+		benchtime = r.Benchtime
+	}
+	if benchtime == "" {
+		benchtime = "1s"
+	}
+	return
+}
+
+// Measure runs the grid without writing a run folder — the comparator's
+// path: fresh numbers in, verdict out, nothing on disk.
+func (r *Runner) Measure() (*RunOutput, error) {
+	return r.run("")
+}
+
+// Run executes the grid into a fresh timestamped run folder:
+//
+//	<OutDir>/<ts>/csv/results.csv        one row per (repeat, benchmark)
+//	<OutDir>/<ts>/logs/<exp>_rep<k>.log  raw go test output
+//	<OutDir>/<ts>/analysis/baseline.json machine-readable statistics
+//	<OutDir>/<ts>/analysis/summary.csv   grouped mean/std/CV table
+//	<OutDir>/<ts>/analysis/summary.md    the same, for humans
+func (r *Runner) Run() (*RunOutput, error) {
+	out := r.OutDir
+	if out == "" {
+		out = "paper_runs"
+	}
+	if !filepath.IsAbs(out) {
+		out = filepath.Join(r.RootDir, out)
+	}
+	dir := filepath.Join(out, time.Now().Format("2006-01-02_150405"))
+	for _, sub := range []string{"csv", "logs", "analysis"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("harness: creating run folder: %w", err)
+		}
+	}
+	return r.run(dir)
+}
+
+// run is the shared execution loop. Repeats are interleaved across
+// experiments (rep 1 of everything, then rep 2, ...) so slow drift on the
+// box — thermal state, background load — decorrelates from any single
+// benchmark instead of biasing all of its repeats the same way.
+func (r *Runner) run(dir string) (*RunOutput, error) {
+	exps := r.experiments()
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("harness: no experiments to run (GateOnly with an ungated grid?)")
+	}
+	repeats, warmup, benchtime := r.protocol()
+	bt := func(e Experiment) string {
+		if e.Benchtime != "" {
+			return e.Benchtime
+		}
+		return benchtime
+	}
+
+	for w := 1; w <= warmup; w++ {
+		for _, exp := range exps {
+			r.log("harness: warmup %d/%d: %s", w, warmup, exp.ID)
+			out, err := r.exec(exp, bt(exp))
+			if err != nil {
+				return nil, execErr(exp, out, err)
+			}
+		}
+	}
+
+	perRepeat := make([]*Parsed, repeats)
+	perExp := make(map[string][]string)
+	expSeen := make(map[string]map[string]bool)
+	var csvRows [][]string
+	for rep := 1; rep <= repeats; rep++ {
+		merged := &Parsed{}
+		seen := make(map[string]bool)
+		for _, exp := range exps {
+			r.log("harness: repeat %d/%d: %s", rep, repeats, exp.ID)
+			raw, err := r.exec(exp, bt(exp))
+			if dir != "" {
+				name := filepath.Join(dir, "logs", fmt.Sprintf("%s_rep%d.log", exp.ID, rep))
+				if werr := os.WriteFile(name, raw, 0o644); werr != nil {
+					return nil, fmt.Errorf("harness: writing log: %w", werr)
+				}
+			}
+			if err != nil {
+				return nil, execErr(exp, raw, err)
+			}
+			parsed, err := ParseBench(bytes.NewReader(raw))
+			if err != nil {
+				return nil, fmt.Errorf("harness: experiment %s: %w", exp.ID, err)
+			}
+			if len(parsed.Results) == 0 && len(parsed.Skips) == 0 {
+				return nil, fmt.Errorf("harness: experiment %s produced no benchmark results (pattern %q matched nothing?)", exp.ID, exp.Pattern)
+			}
+			for _, res := range parsed.Results {
+				if seen[res.Name] {
+					return nil, fmt.Errorf("harness: benchmark %s measured by more than one experiment in the grid", res.Name)
+				}
+				seen[res.Name] = true
+				if expSeen[exp.ID] == nil {
+					expSeen[exp.ID] = make(map[string]bool)
+				}
+				if !expSeen[exp.ID][res.Name] {
+					expSeen[exp.ID][res.Name] = true
+					perExp[exp.ID] = append(perExp[exp.ID], res.Name)
+				}
+				b, _ := deref(res.BOp)
+				a, _ := deref(res.AllocsOp)
+				csvRows = append(csvRows, []string{
+					exp.ID, strconv.Itoa(rep), res.Name,
+					f(res.NsOp), f(b), f(a),
+				})
+			}
+			merged.Results = append(merged.Results, parsed.Results...)
+			merged.Skips = append(merged.Skips, parsed.Skips...)
+		}
+		perRepeat[rep-1] = merged
+	}
+
+	sums := Summarize(perRepeat)
+	base := &Baseline{
+		Label:      r.Label,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Benchtime:  benchtime,
+		Repeats:    repeats,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Summaries:  sums,
+		Skipped:    persistentSkips(perRepeat, sums),
+	}
+	if dir != "" {
+		if err := writeRunFolder(dir, csvRows, base); err != nil {
+			return nil, err
+		}
+	}
+	for id := range perExp {
+		sort.Strings(perExp[id])
+	}
+	return &RunOutput{Dir: dir, Baseline: base, PerExperiment: perExp}, nil
+}
+
+// persistentSkips returns skips (deduped by name) for benchmarks that
+// produced no measurement in any repeat — a bench that skipped once but
+// measured elsewhere is summarized normally.
+func persistentSkips(reps []*Parsed, sums []Summary) []Skip {
+	measured := make(map[string]bool, len(sums))
+	for _, s := range sums {
+		measured[s.Name] = true
+	}
+	seen := make(map[string]bool)
+	var out []Skip
+	for _, rep := range reps {
+		for _, sk := range rep.Skips {
+			if measured[sk.Name] || seen[sk.Name] {
+				continue
+			}
+			seen[sk.Name] = true
+			out = append(out, sk)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func writeRunFolder(dir string, csvRows [][]string, base *Baseline) error {
+	var buf bytes.Buffer
+	buf.WriteString("experiment,repeat,benchmark,ns_op,b_op,allocs_op\n")
+	for _, row := range csvRows {
+		for i, cell := range row {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(cell)
+		}
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "csv", "results.csv"), buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("harness: writing results.csv: %w", err)
+	}
+
+	var bj bytes.Buffer
+	if err := WriteBaseline(&bj, base); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "analysis", "baseline.json"), bj.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("harness: writing baseline.json: %w", err)
+	}
+
+	var sc bytes.Buffer
+	if err := WriteSummaryCSV(&sc, base.Summaries); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "analysis", "summary.csv"), sc.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("harness: writing summary.csv: %w", err)
+	}
+
+	var md bytes.Buffer
+	if err := WriteSummaryMarkdown(&md, base); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "analysis", "summary.md"), md.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("harness: writing summary.md: %w", err)
+	}
+	return nil
+}
+
+func execErr(exp Experiment, out []byte, err error) error {
+	tail := out
+	if len(tail) > 4096 {
+		tail = tail[len(tail)-4096:]
+	}
+	return fmt.Errorf("harness: experiment %s: go test failed: %v\n%s", exp.ID, err, tail)
+}
+
+// GateSpec builds the comparator inputs for a grid measurement: the set
+// of gated benchmark names and their per-benchmark tolerance overrides.
+func GateSpec(grid *Grid, perExp map[string][]string) (gate map[string]bool, overrides map[string]Tolerance) {
+	gate = make(map[string]bool)
+	overrides = make(map[string]Tolerance)
+	for _, exp := range grid.Experiments {
+		for _, name := range perExp[exp.ID] {
+			if exp.Gate {
+				gate[name] = true
+			}
+			if exp.NsTolerance > 0 || exp.AllocTolerance > 0 {
+				overrides[name] = Tolerance{Ns: exp.NsTolerance, Alloc: exp.AllocTolerance}
+			}
+		}
+	}
+	return gate, overrides
+}

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubGrid is a two-experiment grid whose Exec seam returns canned
+// `go test -bench` output with slight per-repeat wobble, so the folder
+// layout, CSV rows, grouped statistics and skip bookkeeping are all
+// exercised without invoking the real toolchain.
+func stubGrid() *Grid {
+	return &Grid{
+		Benchtime: "1x",
+		Repeats:   3,
+		Warmup:    1,
+		Experiments: []Experiment{
+			{ID: "micro", Packages: []string{"./internal/privacy"}, Pattern: "BenchmarkPartition$", Gate: true},
+			{ID: "e2e", Packages: []string{"."}, Pattern: "BenchmarkE8Workers", NsTolerance: 0.5},
+		},
+	}
+}
+
+func stubExec(t *testing.T) (exec func(Experiment, string) ([]byte, error), calls *[]string) {
+	t.Helper()
+	var log []string
+	rep := map[string]int{}
+	exec = func(exp Experiment, benchtime string) ([]byte, error) {
+		rep[exp.ID]++
+		log = append(log, fmt.Sprintf("%s@%s", exp.ID, benchtime))
+		switch exp.ID {
+		case "micro":
+			// ns wobbles ±2% across invocations; allocs constant.
+			ns := 1_000_000 + 20_000*(rep[exp.ID]%3)
+			return []byte(fmt.Sprintf("pkg: secreta/internal/privacy\nBenchmarkPartition-8 100 %d ns/op 288360 B/op 1424 allocs/op\nPASS\n", ns)), nil
+		case "e2e":
+			return []byte("pkg: secreta\n" +
+				"BenchmarkE8Workers/workers=1-8 10 37218171 ns/op 9562656 B/op 69132 allocs/op\n" +
+				"--- SKIP: BenchmarkE8Workers/workers=8\n" +
+				"    bench_test.go:1: GOMAXPROCS=1 < workers=8\nPASS\n"), nil
+		}
+		return nil, fmt.Errorf("unknown experiment %s", exp.ID)
+	}
+	return exec, &log
+}
+
+func TestRunnerRunFolder(t *testing.T) {
+	dir := t.TempDir()
+	exec, calls := stubExec(t)
+	r := &Runner{Grid: stubGrid(), OutDir: dir, Label: "test-run", Log: io.Discard, Exec: exec}
+	out, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 experiments × (1 warmup + 3 repeats) invocations.
+	if len(*calls) != 8 {
+		t.Fatalf("exec calls = %d (%v), want 8", len(*calls), *calls)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("run parent dir: %v entries, err %v", len(entries), err)
+	}
+	for _, want := range []string{
+		"csv/results.csv",
+		"logs/micro_rep1.log", "logs/micro_rep3.log", "logs/e2e_rep2.log",
+		"analysis/baseline.json", "analysis/summary.csv", "analysis/summary.md",
+	} {
+		if _, err := os.Stat(filepath.Join(out.Dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+
+	csvData, err := os.ReadFile(filepath.Join(out.Dir, "csv", "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	// Header + 3 repeats × 2 measured benchmarks.
+	if len(lines) != 7 {
+		t.Fatalf("results.csv has %d lines:\n%s", len(lines), csvData)
+	}
+	if lines[0] != "experiment,repeat,benchmark,ns_op,b_op,allocs_op" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+
+	raw, err := os.ReadFile(filepath.Join(out.Dir, "analysis", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Label != "test-run" || b.Repeats != 3 || b.GoMaxProcs < 1 {
+		t.Fatalf("baseline header: %+v", b)
+	}
+	if len(b.Summaries) != 2 {
+		t.Fatalf("summaries = %+v, want 2", b.Summaries)
+	}
+	part := b.Summaries[1]
+	if !strings.HasSuffix(part.Name, "BenchmarkPartition") {
+		part = b.Summaries[0]
+	}
+	if part.Repeats != 3 || part.NsOp.Std == 0 || part.NsOp.CV == 0 {
+		t.Fatalf("partition summary lacks spread: %+v", part)
+	}
+	if part.AllocsOp.Mean != 1424 || part.AllocsOp.Std != 0 {
+		t.Fatalf("partition allocs: %+v", part.AllocsOp)
+	}
+	if len(b.Skipped) != 1 || b.Skipped[0].Name != "secreta.BenchmarkE8Workers/workers=8" {
+		t.Fatalf("skipped = %+v", b.Skipped)
+	}
+
+	// The summary markdown carries the table and the skip.
+	md, err := os.ReadFile(filepath.Join(out.Dir, "analysis", "summary.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BenchmarkPartition", "## Skipped", "workers=8"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("summary.md lacks %q:\n%s", want, md)
+		}
+	}
+
+	// Per-experiment name mapping feeds the gate spec.
+	gate, overrides := GateSpec(r.Grid, out.PerExperiment)
+	if !gate["secreta/internal/privacy.BenchmarkPartition"] {
+		t.Errorf("gate set = %v, want partition gated", gate)
+	}
+	if gate["secreta.BenchmarkE8Workers/workers=1"] {
+		t.Errorf("ungated experiment leaked into gate set: %v", gate)
+	}
+	if tol := overrides["secreta.BenchmarkE8Workers/workers=1"]; tol.Ns != 0.5 {
+		t.Errorf("overrides = %v, want e2e ns tolerance 0.5", overrides)
+	}
+}
+
+func TestRunnerMeasureGateOnly(t *testing.T) {
+	exec, calls := stubExec(t)
+	r := &Runner{Grid: stubGrid(), GateOnly: true, Repeats: 2, Warmup: 1, Log: io.Discard, Exec: exec}
+	out, err := r.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dir != "" {
+		t.Fatalf("Measure wrote a folder: %q", out.Dir)
+	}
+	// Only the gated experiment runs: 1 warmup + 2 repeats.
+	if len(*calls) != 3 {
+		t.Fatalf("exec calls = %v, want 3 micro runs", *calls)
+	}
+	if len(out.Baseline.Summaries) != 1 || out.Baseline.Repeats != 2 {
+		t.Fatalf("baseline = %+v", out.Baseline)
+	}
+}
+
+func TestRunnerEmptyPatternFails(t *testing.T) {
+	g := &Grid{Repeats: 1, Experiments: []Experiment{
+		{ID: "none", Packages: []string{"."}, Pattern: "BenchmarkNothing$"},
+	}}
+	r := &Runner{Grid: g, Log: io.Discard, Exec: func(Experiment, string) ([]byte, error) {
+		return []byte("pkg: p\nPASS\nok p 0.01s\n"), nil
+	}}
+	if _, err := r.Measure(); err == nil || !strings.Contains(err.Error(), "no benchmark results") {
+		t.Fatalf("err = %v, want 'no benchmark results'", err)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Grid)
+		want string
+	}{
+		{"ok", func(g *Grid) {}, ""},
+		{"zero repeats", func(g *Grid) { g.Repeats = 0 }, "repeats"},
+		{"bad benchtime", func(g *Grid) { g.Benchtime = "fast" }, "benchtime"},
+		{"iteration benchtime ok", func(g *Grid) { g.Benchtime = "100x" }, ""},
+		{"dup id", func(g *Grid) { g.Experiments = append(g.Experiments, g.Experiments[0]) }, "duplicate"},
+		{"no pattern", func(g *Grid) { g.Experiments[0].Pattern = "" }, "no pattern"},
+		{"negative tolerance", func(g *Grid) { g.Experiments[0].NsTolerance = -1 }, "negative tolerance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := stubGrid()
+			tc.mut(g)
+			err := g.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ type phaseStats struct {
 	samples map[string][]float64 // phase -> ring of durations (seconds)
 	next    map[string]int       // phase -> ring write position
 	total   map[string]int64     // phase -> samples ever recorded
+	sumSec  map[string]float64   // phase -> cumulative seconds ever recorded
 }
 
 // phaseWindow bounds the per-phase sample ring: big enough for stable
@@ -30,6 +31,7 @@ func newPhaseStats() *phaseStats {
 		samples: make(map[string][]float64),
 		next:    make(map[string]int),
 		total:   make(map[string]int64),
+		sumSec:  make(map[string]float64),
 	}
 }
 
@@ -50,6 +52,7 @@ func (p *phaseStats) record(phases []timing.Phase) {
 			p.next[ph.Name] = (p.next[ph.Name] + 1) % phaseWindow
 		}
 		p.total[ph.Name]++
+		p.sumSec[ph.Name] += sec
 	}
 }
 
@@ -75,6 +78,38 @@ func (p *phaseStats) snapshot() map[string]PhaseView {
 			Count: p.total[name],
 			P50ms: percentile(sorted, 50) * 1000,
 			P95ms: percentile(sorted, 95) * 1000,
+		}
+	}
+	return out
+}
+
+// phaseQuantiles is the Prometheus-summary view of one phase: windowed
+// quantiles in seconds plus lifetime sum/count for rate() math.
+type phaseQuantiles struct {
+	Q50, Q95 float64 // seconds, over the rolling window
+	SumSec   float64 // cumulative seconds ever recorded
+	Count    int64
+}
+
+// quantiles computes the GET /metrics summary per phase. Quantiles come
+// from the same rolling window snapshot() uses; sum and count are
+// lifetime counters so scrapers can derive rates across restarts of the
+// window.
+func (p *phaseStats) quantiles() map[string]phaseQuantiles {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]phaseQuantiles, len(p.samples))
+	for name, ring := range p.samples {
+		if len(ring) == 0 {
+			continue
+		}
+		sorted := append([]float64(nil), ring...)
+		sort.Float64s(sorted)
+		out[name] = phaseQuantiles{
+			Q50:    percentile(sorted, 50),
+			Q95:    percentile(sorted, 95),
+			SumSec: p.sumSec[name],
+			Count:  p.total[name],
 		}
 	}
 	return out

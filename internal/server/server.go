@@ -209,6 +209,7 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.st == nil {
 		s.ready.Store(true)
 	} else {

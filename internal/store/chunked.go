@@ -168,12 +168,19 @@ func (c *ChunkedDir) Open(name string) (*ChunkReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ChunkReader{f: f, br: bufio.NewReaderSize(f, 256<<10)}, nil
+	return &ChunkReader{c: f, br: bufio.NewReaderSize(f, 256<<10)}, nil
+}
+
+// newChunkReader wraps an arbitrary byte stream in a ChunkReader. The
+// on-disk Open path adds a file and a Close; this is the seam the frame
+// decoder's tests and fuzzers use to feed it raw bytes.
+func newChunkReader(r io.Reader) *ChunkReader {
+	return &ChunkReader{br: bufio.NewReaderSize(r, 256<<10)}
 }
 
 // ChunkReader iterates a chunk file frame by frame.
 type ChunkReader struct {
-	f   *os.File
+	c   io.Closer
 	br  *bufio.Reader
 	buf []byte
 }
@@ -208,8 +215,13 @@ func (r *ChunkReader) Next() ([]byte, error) {
 	return r.buf, nil
 }
 
-// Close releases the underlying file.
-func (r *ChunkReader) Close() error { return r.f.Close() }
+// Close releases the underlying file, if any.
+func (r *ChunkReader) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	return r.c.Close()
+}
 
 // Has reports whether a chunk file named name exists.
 func (c *ChunkedDir) Has(name string) bool {

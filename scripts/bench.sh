@@ -30,39 +30,11 @@ if [ "${SKIP_ROOT_BENCH:-}" != "1" ]; then
 	go test -run '^$' -bench . -benchmem -benchtime "$ROOT_BENCHTIME" . | tee -a "$RAW"
 fi
 
-# Parse `go test -bench` lines into JSON. A line looks like:
-#   BenchmarkPartition-8  100  11905132 ns/op  4477032 B/op  85333 allocs/op [extra metrics]
-# Names are qualified with the package path from the preceding `pkg:` line
-# so identically named benchmarks in different packages stay distinct
-# records; a duplicate qualified name would make jq joins silently pick
-# the wrong baseline, so the parse fails loudly instead of emitting it.
-awk '
-/^pkg:/ { pkg = $2 }
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	if (pkg != "") name = pkg "." name
-	ns = bop = aop = ""
-	for (i = 2; i < NF; i++) {
-		if ($(i+1) == "ns/op") ns = $i
-		if ($(i+1) == "B/op") bop = $i
-		if ($(i+1) == "allocs/op") aop = $i
-	}
-	if (ns == "") next
-	if (name in seen) {
-		printf "bench.sh: duplicate benchmark name %s — output would be ambiguous\n", name > "/dev/stderr"
-		bad = 1
-		exit 1
-	}
-	seen[name] = 1
-	if (out != "") out = out ",\n"
-	out = out sprintf("  {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
-		name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop))
-}
-END {
-	if (bad) exit 1
-	printf "[\n%s\n]\n", out
-}
-' "$RAW" >"$OUT"
+# Parse the raw `go test -bench` output into the flat JSON format with
+# the tested Go parser (internal/harness via `secreta-bench parse`):
+# package-qualified names, loud failure on duplicates, skips surfaced on
+# stderr. The historical awk pipeline this replaces is gone — one parser,
+# unit-tested, shared with `secreta-bench run`/`compare`.
+go run ./cmd/secreta-bench parse -o "$OUT" <"$RAW"
 
 echo "wrote $OUT"

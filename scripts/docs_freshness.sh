@@ -67,3 +67,26 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 echo "docs_freshness: all $(printf '%s\n' "$flags" | wc -l | tr -d ' ') secreta-serve flags documented."
+
+# Every Prometheus metric family GET /metrics exposes must appear in the
+# operations runbook's "Metrics & scraping" reference. Families are the
+# literal first arguments of promWriter.start() in metrics.go.
+metrics_src="internal/server/metrics.go"
+families=$(grep -oE '\.start\("secreta_[a-z_]+"' "$metrics_src" | sed -E 's/.*"(secreta_[a-z_]+)"/\1/' | sort -u || true)
+if [ -z "$families" ]; then
+    echo "docs_freshness: no metric families found in $metrics_src (pattern drift?)" >&2
+    exit 1
+fi
+
+missing=0
+for fam in $families; do
+    if ! grep -qF "$fam" "$ops_doc"; then
+        echo "docs_freshness: metric family $fam is exported but not mentioned in $ops_doc" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "docs_freshness: update $ops_doc (Metrics & scraping) to cover every metric family." >&2
+    exit 1
+fi
+echo "docs_freshness: all $(printf '%s\n' "$families" | wc -l | tr -d ' ') metric families documented."
