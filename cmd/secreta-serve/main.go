@@ -12,6 +12,11 @@
 // were in flight when the process died are re-queued. Without it,
 // everything is in memory and a restart starts from scratch.
 //
+// Logs are structured (log/slog): -log-format picks text (default) or
+// json. With -debug-addr set, a second listener serves net/http/pprof
+// profiles — bind it to localhost only; it must never be exposed
+// publicly.
+//
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST   /datasets         upload a dataset, get a dataset_ref
@@ -25,18 +30,23 @@
 //	GET    /jobs/{id}               poll job status
 //	GET    /jobs/{id}/result        fetch the JSON result of a done job
 //	GET    /jobs/{id}/result/stream stream an anonymize result as NDJSON
+//	GET    /jobs/{id}/trace         job lifecycle trace (JSON span tree)
 //	DELETE /jobs/{id}               cancel a job (stops mid-algorithm)
 //	GET    /healthz                 liveness + readiness (false during replay)
 //	GET    /stats                   cache/registry/store/streaming counters
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /dashboard               embedded live operator dashboard
+//	GET    /dashboard/data          dashboard JSON aggregate + SVG charts
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,15 +71,35 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal appends between snapshots (0: default 256)")
 	diskCacheEntries := flag.Int("disk-cache-entries", 0, "disk result cache entry cap (0: default 4096); needs -data-dir")
 	diskCacheBytes := flag.Int64("disk-cache-bytes", 0, "disk result cache byte cap (0: default 2 GiB); needs -data-dir")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof profiling; keep it on localhost, never public (empty: disabled)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("secreta-serve listening on %s (workers=%d, data-dir=%q)", ln.Addr(), *workers, *dataDir)
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Warn("pprof debug listener enabled — do not expose publicly", "addr", debugLn.Addr().String())
+	}
+	logger.Info("secreta-serve listening",
+		"addr", ln.Addr().String(), "workers", *workers, "data_dir", *dataDir)
 	opts := server.Options{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
@@ -80,22 +110,37 @@ func main() {
 		RegistryMaxDatasets: *registryDatasets,
 		RegistryMaxBytes:    *registryBytes,
 		JobTimeout:          *jobTimeout,
+		Logger:              logger,
 	}
 	stOpts := store.Options{
 		SnapshotEvery:   *snapshotEvery,
 		CacheMaxEntries: *diskCacheEntries,
 		CacheMaxBytes:   *diskCacheBytes,
 	}
-	if err := run(ctx, ln, opts, *dataDir, stOpts); err != nil {
-		log.Fatal(err)
+	if err := run(ctx, ln, debugLn, opts, *dataDir, stOpts); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger for the chosen -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("secreta-serve: unknown -log-format %q (want text or json)", format)
 }
 
 // run serves the API on ln until ctx is cancelled, then drains in-flight
 // requests for up to 5s and closes the store (final journal snapshot).
-// Split from main so tests can drive it on an ephemeral listener and a
-// temp data dir.
-func run(ctx context.Context, ln net.Listener, opts server.Options, dataDir string, stOpts store.Options) error {
+// debugLn, when non-nil, serves net/http/pprof (http.DefaultServeMux) on
+// a separate listener for the life of the process — profiling traffic
+// never shares a port with the API. Split from main so tests can drive it
+// on ephemeral listeners and a temp data dir.
+func run(ctx context.Context, ln, debugLn net.Listener, opts server.Options, dataDir string, stOpts store.Options) error {
 	if dataDir != "" {
 		st, err := store.Open(dataDir, stOpts)
 		if err != nil {
@@ -115,12 +160,30 @@ func run(ctx context.Context, ln net.Listener, opts server.Options, dataDir stri
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	var debugSrv *http.Server
+	if debugLn != nil {
+		// The pprof handlers register themselves on http.DefaultServeMux at
+		// import time; serving that mux here (and only here) keeps them off
+		// the API listener.
+		debugSrv = &http.Server{
+			Handler:     http.DefaultServeMux,
+			ReadTimeout: 30 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.Serve(debugLn); err != nil && err != http.ErrServerClosed {
+				slog.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 	select {
 	case err := <-errc:
 		return fmt.Errorf("secreta-serve: %w", err)
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			debugSrv.Shutdown(shutdownCtx)
+		}
 		return srv.Shutdown(shutdownCtx)
 	}
 }

@@ -25,7 +25,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, ln, server.Options{Workers: 2}, "", store.Options{}) }()
+	go func() { done <- run(ctx, ln, nil, server.Options{Workers: 2}, "", store.Options{}) }()
 
 	url := "http://" + ln.Addr().String() + "/healthz"
 	var resp *http.Response
@@ -66,7 +66,7 @@ func bootRun(t *testing.T, dataDir string) (string, func()) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, ln, server.Options{Workers: 2}, dataDir, store.Options{}) }()
+	go func() { done <- run(ctx, ln, nil, server.Options{Workers: 2}, dataDir, store.Options{}) }()
 	base := "http://" + ln.Addr().String()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {

@@ -23,6 +23,7 @@ import (
 	"secreta/internal/generalize"
 	"secreta/internal/hierarchy"
 	"secreta/internal/metrics"
+	"secreta/internal/obs"
 	"secreta/internal/policy"
 	"secreta/internal/privacy"
 	"secreta/internal/query"
@@ -159,18 +160,32 @@ func RunCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) *Result {
 // builds one batchShared per batch so its workers intern the dataset once
 // between them instead of once per configuration.
 func runShared(ctx context.Context, ds *dataset.Dataset, cfg Config, sh *batchShared) *Result {
+	sp := obs.FromCtx(ctx).Start("run", obs.String("config", cfg.DisplayLabel()))
+	defer sp.End()
+	ctx = obs.With(ctx, sp)
 	start := time.Now()
 	res := &Result{Config: cfg}
 	anon, phases, err := dispatch(ctx, ds, cfg, sh)
 	res.Runtime = time.Since(start)
 	res.Phases = phases
+	// Stopwatch phases are contiguous from the run's start; replay them as
+	// child spans so the trace shows the algorithm's internal cost split
+	// without re-timing anything.
+	at := start
+	for _, ph := range phases {
+		next := at.Add(ph.Duration)
+		sp.Interval(ph.Name, at, next)
+		at = next
+	}
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	res.Anonymized = anon
 	res.Records = anon
+	evalStart := time.Now()
 	res.Indicators, res.Err = Evaluate(ds, anon, cfg)
+	sp.Interval("evaluate", evalStart, time.Now())
 	return res
 }
 

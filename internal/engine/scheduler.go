@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"secreta/internal/dataset"
+	"secreta/internal/obs"
 	"secreta/internal/policy"
 	"secreta/internal/registry"
 )
@@ -148,6 +149,7 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 			// The cached Result carries the first submitter's Config
 			// (Label, pointer identities); answer with the caller's so
 			// labels aren't misattributed across requests.
+			obs.FromCtx(ctx).Event("cache_hit", obs.String("config", cfg.DisplayLabel()))
 			rc := *r
 			rc.Config = cfg
 			return Item{Index: i, Result: &rc, CacheHit: true}
@@ -187,6 +189,8 @@ func (s *Scheduler) runOne(ctx context.Context, ds *dataset.Dataset, cfg Config,
 		case <-fl.done:
 			if r := fl.result; r != nil {
 				s.cache.countHit()
+				obs.FromCtx(ctx).Event("cache_hit",
+					obs.String("config", cfg.DisplayLabel()), obs.String("via", "single_flight"))
 				rc := *r
 				rc.Config = cfg
 				return Item{Index: i, Result: &rc, CacheHit: true}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"secreta/internal/plot"
+)
+
+// plotSamples collects the per-repeat wall-clock measurements a run
+// gathers, keyed experiment → benchmark → ns/op in repeat order. It is
+// the data behind analysis/summary_<experiment>.svg.
+type plotSamples map[string]map[string][]float64
+
+func (p plotSamples) add(expID, bench string, nsOp float64) {
+	if p[expID] == nil {
+		p[expID] = make(map[string][]float64)
+	}
+	p[expID][bench] = append(p[expID][bench], nsOp)
+}
+
+// experimentChart renders one experiment's repeat-by-repeat ns/op curves,
+// one series per benchmark, each wrapped in its mean±std band so a noisy
+// benchmark is visibly noisy (the same spread the summary table reports
+// as CV).
+func experimentChart(expID string, benches map[string][]float64, byName map[string]Summary) *plot.Chart {
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	series := make([]plot.Series, 0, len(names))
+	for _, n := range names {
+		ns := benches[n]
+		xs := make([]float64, len(ns))
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		s := plot.Series{Label: shortBench(n), Xs: xs, Ys: ns}
+		if sum, ok := byName[n]; ok && sum.NsOp.Std > 0 {
+			lo := make([]float64, len(ns))
+			hi := make([]float64, len(ns))
+			for i := range ns {
+				lo[i] = sum.NsOp.Mean - sum.NsOp.Std
+				hi[i] = sum.NsOp.Mean + sum.NsOp.Std
+			}
+			s.Lo, s.Hi = lo, hi
+		}
+		series = append(series, s)
+	}
+	title := fmt.Sprintf("%s: ns/op across repeats (band: mean±std)", expID)
+	return plot.NewLine(title, "repeat", "ns/op", series...)
+}
+
+// shortBench trims the package qualifier from a parsed benchmark name
+// ("secreta/internal/privacy.BenchmarkPartition" → "BenchmarkPartition")
+// so chart legends stay readable.
+func shortBench(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 && i+1 < len(name) {
+		return name[i+1:]
+	}
+	return name
+}
+
+// plotFileName maps an experiment ID to its SVG filename, replacing any
+// path-hostile characters.
+func plotFileName(expID string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, expID)
+	return "summary_" + safe + ".svg"
+}
+
+// writePlots renders one SVG per experiment into dir/analysis and returns
+// the (expID, filename) pairs in experiment order for the summary.md
+// plot index.
+func writePlots(dir string, samples plotSamples, base *Baseline) ([][2]string, error) {
+	ids := make([]string, 0, len(samples))
+	for id := range samples {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	byName := base.ByName()
+	out := make([][2]string, 0, len(ids))
+	for _, id := range ids {
+		name := plotFileName(id)
+		svg := experimentChart(id, samples[id], byName).SVG(720, 360)
+		if err := os.WriteFile(filepath.Join(dir, "analysis", name), []byte(svg), 0o644); err != nil {
+			return nil, fmt.Errorf("harness: writing %s: %w", name, err)
+		}
+		out = append(out, [2]string{id, name})
+	}
+	return out, nil
+}

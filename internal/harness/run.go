@@ -108,6 +108,7 @@ func (r *Runner) Measure() (*RunOutput, error) {
 //	<OutDir>/<ts>/analysis/baseline.json machine-readable statistics
 //	<OutDir>/<ts>/analysis/summary.csv   grouped mean/std/CV table
 //	<OutDir>/<ts>/analysis/summary.md    the same, for humans
+//	<OutDir>/<ts>/analysis/summary_<exp>.svg  per-experiment repeat plot
 func (r *Runner) Run() (*RunOutput, error) {
 	out := r.OutDir
 	if out == "" {
@@ -155,6 +156,7 @@ func (r *Runner) run(dir string) (*RunOutput, error) {
 	perRepeat := make([]*Parsed, repeats)
 	perExp := make(map[string][]string)
 	expSeen := make(map[string]map[string]bool)
+	samples := make(plotSamples)
 	var csvRows [][]string
 	for rep := 1; rep <= repeats; rep++ {
 		merged := &Parsed{}
@@ -190,6 +192,7 @@ func (r *Runner) run(dir string) (*RunOutput, error) {
 					expSeen[exp.ID][res.Name] = true
 					perExp[exp.ID] = append(perExp[exp.ID], res.Name)
 				}
+				samples.add(exp.ID, res.Name, res.NsOp)
 				b, _ := deref(res.BOp)
 				a, _ := deref(res.AllocsOp)
 				csvRows = append(csvRows, []string{
@@ -214,7 +217,7 @@ func (r *Runner) run(dir string) (*RunOutput, error) {
 		Skipped:    persistentSkips(perRepeat, sums),
 	}
 	if dir != "" {
-		if err := writeRunFolder(dir, csvRows, base); err != nil {
+		if err := writeRunFolder(dir, csvRows, samples, base); err != nil {
 			return nil, err
 		}
 	}
@@ -247,7 +250,7 @@ func persistentSkips(reps []*Parsed, sums []Summary) []Skip {
 	return out
 }
 
-func writeRunFolder(dir string, csvRows [][]string, base *Baseline) error {
+func writeRunFolder(dir string, csvRows [][]string, samples plotSamples, base *Baseline) error {
 	var buf bytes.Buffer
 	buf.WriteString("experiment,repeat,benchmark,ns_op,b_op,allocs_op\n")
 	for _, row := range csvRows {
@@ -279,9 +282,21 @@ func writeRunFolder(dir string, csvRows [][]string, base *Baseline) error {
 		return fmt.Errorf("harness: writing summary.csv: %w", err)
 	}
 
+	plots, err := writePlots(dir, samples, base)
+	if err != nil {
+		return err
+	}
+
 	var md bytes.Buffer
 	if err := WriteSummaryMarkdown(&md, base); err != nil {
 		return err
+	}
+	if len(plots) > 0 {
+		md.WriteString("\n## Plots\n\n")
+		md.WriteString("Per-experiment ns/op across repeats with mean±std bands:\n\n")
+		for _, p := range plots {
+			fmt.Fprintf(&md, "- `%s`: [%s](%s)\n", p[0], p[1], p[1])
+		}
 	}
 	if err := os.WriteFile(filepath.Join(dir, "analysis", "summary.md"), md.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("harness: writing summary.md: %w", err)

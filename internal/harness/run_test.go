@@ -70,6 +70,7 @@ func TestRunnerRunFolder(t *testing.T) {
 		"csv/results.csv",
 		"logs/micro_rep1.log", "logs/micro_rep3.log", "logs/e2e_rep2.log",
 		"analysis/baseline.json", "analysis/summary.csv", "analysis/summary.md",
+		"analysis/summary_micro.svg", "analysis/summary_e2e.svg",
 	} {
 		if _, err := os.Stat(filepath.Join(out.Dir, want)); err != nil {
 			t.Errorf("missing %s: %v", want, err)
@@ -122,9 +123,23 @@ func TestRunnerRunFolder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"BenchmarkPartition", "## Skipped", "workers=8"} {
+	for _, want := range []string{"BenchmarkPartition", "## Skipped", "workers=8",
+		"## Plots", "summary_micro.svg", "summary_e2e.svg"} {
 		if !strings.Contains(string(md), want) {
 			t.Errorf("summary.md lacks %q:\n%s", want, md)
+		}
+	}
+
+	// The per-experiment plot is a real SVG with a band for the wobbling
+	// benchmark: micro's ns/op has nonzero std, so its series carries the
+	// translucent mean±std polygon.
+	svg, err := os.ReadFile(filepath.Join(out.Dir, "analysis", "summary_micro.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "BenchmarkPartition", "polygon", "ns/op across repeats"} {
+		if !strings.Contains(string(svg), want) {
+			t.Errorf("summary_micro.svg lacks %q", want)
 		}
 	}
 

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeInvariants pins the structural contract of a View snapshot:
+// parents precede children, children are sorted by start time, and every
+// recorded span appears exactly once in the tree.
+func TestSpanTreeInvariants(t *testing.T) {
+	tr := New("job-1")
+	root := tr.Root()
+	if root.TraceID() != "job-1" {
+		t.Fatalf("TraceID = %q, want job-1", root.TraceID())
+	}
+
+	queue := root.Start("queue_wait")
+	queue.End()
+	exec := root.Start("execute", String("kind", "anonymize"))
+	load := exec.Start("dataset_load")
+	load.End()
+	run := exec.Start("run")
+	// Interval records historical phases out of wall-clock order; the view
+	// must still sort siblings by start.
+	base := time.Now().Add(-50 * time.Millisecond)
+	run.Interval("transaction", base.Add(10*time.Millisecond), base.Add(30*time.Millisecond))
+	run.Interval("relational", base, base.Add(10*time.Millisecond))
+	run.End()
+	exec.End()
+	tr.Finish()
+
+	v := tr.View()
+	if !v.Complete {
+		t.Fatal("finished trace not marked complete")
+	}
+	if v.Trace == nil || v.Trace.Name != "job" {
+		t.Fatalf("root span missing or misnamed: %+v", v.Trace)
+	}
+	if got := len(v.Trace.Children); got != 2 {
+		t.Fatalf("root children = %d, want 2 (queue_wait, execute)", got)
+	}
+	if v.Trace.Children[0].Name != "queue_wait" || v.Trace.Children[1].Name != "execute" {
+		t.Fatalf("root children order = %q, %q", v.Trace.Children[0].Name, v.Trace.Children[1].Name)
+	}
+	ex := v.Trace.Children[1]
+	if ex.Attrs["kind"] != "anonymize" {
+		t.Fatalf("execute attrs = %v", ex.Attrs)
+	}
+	if len(ex.Children) != 2 || ex.Children[0].Name != "dataset_load" || ex.Children[1].Name != "run" {
+		t.Fatalf("execute children = %+v", ex.Children)
+	}
+	rn := ex.Children[1]
+	if len(rn.Children) != 2 {
+		t.Fatalf("run children = %d, want 2", len(rn.Children))
+	}
+	// Interval siblings sorted by start: relational (earlier) first.
+	if rn.Children[0].Name != "relational" || rn.Children[1].Name != "transaction" {
+		t.Fatalf("phase order = %q, %q", rn.Children[0].Name, rn.Children[1].Name)
+	}
+	if rn.Children[0].StartMS > rn.Children[1].StartMS {
+		t.Fatal("children not sorted by start time")
+	}
+	var count func(s *SpanView) int
+	count = func(s *SpanView) int {
+		n := 1
+		for _, c := range s.Children {
+			n += count(c)
+		}
+		return n
+	}
+	if got := count(v.Trace); got != v.Spans || got != 7 {
+		t.Fatalf("tree has %d spans, header says %d, want 7", got, v.Spans)
+	}
+	for _, c := range v.Trace.Children {
+		if c.Open {
+			t.Fatalf("span %q open after Finish", c.Name)
+		}
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatalf("view not serializable: %v", err)
+	}
+}
+
+// TestLiveSnapshot exercises View on an unfinished trace: open spans get a
+// duration up to the snapshot and the Open flag.
+func TestLiveSnapshot(t *testing.T) {
+	tr := New("job-live")
+	sp := tr.Root().Start("execute")
+	time.Sleep(2 * time.Millisecond)
+	v := tr.View()
+	if v.Complete {
+		t.Fatal("live trace marked complete")
+	}
+	if len(v.Trace.Children) != 1 {
+		t.Fatalf("children = %d", len(v.Trace.Children))
+	}
+	c := v.Trace.Children[0]
+	if !c.Open {
+		t.Fatal("running span not marked open")
+	}
+	if c.DurationMS <= 0 {
+		t.Fatalf("open span duration = %v, want > 0", c.DurationMS)
+	}
+	sp.End()
+	tr.Finish()
+	if v2 := tr.View(); v2.Trace.Children[0].Open {
+		t.Fatal("span still open after Finish")
+	}
+}
+
+// TestBoundedMemory is the O(1)-memory property: a synthetic job emitting
+// 10k events and far more spans than the cap must hold exactly maxEvents
+// timeline entries and maxSpans spans, with the overflow counted.
+func TestBoundedMemory(t *testing.T) {
+	const spanCap, eventCap = 64, 128
+	tr := NewSized("job-bounded", spanCap, eventCap)
+	sp := tr.Root().Start("execute")
+	const total = 10000
+	for i := 0; i < total; i++ {
+		sp.Event("apriori_round", Int("round", i))
+		if i%10 == 0 {
+			child := sp.Start("scan")
+			child.Event("km_scan", Int("i", i))
+			child.End()
+		}
+	}
+	sp.End()
+	tr.Finish()
+
+	tr.mu.Lock()
+	spans, events := len(tr.spans), len(tr.events)
+	tr.mu.Unlock()
+	if spans > spanCap {
+		t.Fatalf("spans grew to %d, cap %d", spans, spanCap)
+	}
+	if events > eventCap {
+		t.Fatalf("events grew to %d, cap %d", events, eventCap)
+	}
+
+	v := tr.View()
+	if v.Spans != spanCap {
+		t.Fatalf("view spans = %d, want %d (cap reached)", v.Spans, spanCap)
+	}
+	if v.DroppedSpans == 0 {
+		t.Fatal("span drops not counted")
+	}
+	wantEvents := uint64(total + (total+9)/10)
+	if v.Events != wantEvents {
+		t.Fatalf("event total = %d, want %d", v.Events, wantEvents)
+	}
+	if v.DroppedEvents != wantEvents-eventCap {
+		t.Fatalf("dropped events = %d, want %d", v.DroppedEvents, wantEvents-eventCap)
+	}
+	// The ring keeps the newest events: the last recorded round must be
+	// present, the first long gone.
+	var all []EventView
+	var walk func(s *SpanView)
+	walk = func(s *SpanView) {
+		all = append(all, s.Events...)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(v.Trace)
+	if len(all) != eventCap {
+		t.Fatalf("view events = %d, want %d", len(all), eventCap)
+	}
+	last := false
+	for _, ev := range all {
+		if ev.Attrs["round"] == "9999" {
+			last = true
+		}
+		if ev.Attrs["round"] == "0" && ev.Name == "apriori_round" {
+			t.Fatal("oldest event survived a full ring")
+		}
+	}
+	if !last {
+		t.Fatal("newest event missing from ring")
+	}
+}
+
+// TestZeroSpanNoop: every method on the zero Span must be callable from
+// uninstrumented paths (CLI, tests) without effect or panic.
+func TestZeroSpanNoop(t *testing.T) {
+	var s Span
+	s2 := s.Start("child", String("k", "v"))
+	s2.Event("e")
+	s2.SetAttr("a", "b")
+	s2.Interval("p", time.Now(), time.Now())
+	s2.End()
+	s.End()
+	if s.TraceID() != "" {
+		t.Fatal("zero span has a trace ID")
+	}
+	if got := FromCtx(context.Background()); got.t != nil {
+		t.Fatal("untraced context yielded a live span")
+	}
+	if got := FromCtx(nil); got.t != nil { //nolint:staticcheck // nil-safety is the point
+		t.Fatal("nil context yielded a live span")
+	}
+}
+
+// TestContextPlumbing round-trips a span through a context.
+func TestContextPlumbing(t *testing.T) {
+	tr := New("job-ctx")
+	ctx := With(context.Background(), tr.Root())
+	got := FromCtx(ctx)
+	if got.TraceID() != "job-ctx" {
+		t.Fatalf("FromCtx trace = %q", got.TraceID())
+	}
+	child := got.Start("nested")
+	child.End()
+	tr.Finish()
+	if v := tr.View(); len(v.Trace.Children) != 1 || v.Trace.Children[0].Name != "nested" {
+		t.Fatalf("nested span lost: %+v", v.Trace.Children)
+	}
+}
+
+// TestFinishIdempotent: double Finish and nil-trace Finish are safe, and
+// Finish pins the end so later Views agree.
+func TestFinishIdempotent(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Finish() // must not panic
+	if nilTrace.View() != nil {
+		t.Fatal("nil trace produced a view")
+	}
+	tr := New("job-fin")
+	tr.Finish()
+	d1 := tr.View().DurationMS
+	time.Sleep(2 * time.Millisecond)
+	tr.Finish()
+	if d2 := tr.View().DurationMS; d2 != d1 {
+		t.Fatalf("duration moved after second Finish: %v -> %v", d1, d2)
+	}
+}
+
+// TestConcurrentRecording hammers one trace from many goroutines under
+// -race; bounds must hold after the dust settles.
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewSized("job-conc", 32, 64)
+	root := tr.Root()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				sp := root.Start("w")
+				sp.Event("tick", Int("g", g), Int("i", i))
+				sp.SetAttr("k", "v")
+				sp.End()
+				if i%100 == 0 {
+					_ = tr.View()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	tr.Finish()
+	v := tr.View()
+	if v.Spans > 32 {
+		t.Fatalf("span cap breached: %d", v.Spans)
+	}
+	if v.Events != 8*500 {
+		t.Fatalf("event total = %d, want %d", v.Events, 8*500)
+	}
+}

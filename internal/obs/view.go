@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// EventView is one timeline entry in a trace snapshot.
+type EventView struct {
+	Name string `json:"name"`
+	// AtMS is the event's offset from the trace start, in milliseconds.
+	AtMS  float64           `json:"at_ms"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanView is one node of the exported span tree.
+type SpanView struct {
+	Name string `json:"name"`
+	// StartMS is the span's offset from the trace start; DurationMS its
+	// length (up to the snapshot time for spans still open).
+	StartMS    float64           `json:"start_ms"`
+	DurationMS float64           `json:"duration_ms"`
+	Open       bool              `json:"open,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []EventView       `json:"events,omitempty"`
+	Children   []*SpanView       `json:"children,omitempty"`
+}
+
+// TraceView is the JSON document GET /jobs/{id}/trace serves: the span
+// tree plus the bookkeeping an operator needs to trust it (drop counters,
+// completeness).
+type TraceView struct {
+	Job       string `json:"job"`
+	StartedAt string `json:"started_at"`
+	// DurationMS covers trace start to Finish — or to the snapshot time
+	// for a live trace (Complete false).
+	DurationMS float64 `json:"duration_ms"`
+	Complete   bool    `json:"complete"`
+	Spans      int     `json:"spans"`
+	// Events counts timeline entries ever recorded; DroppedEvents is how
+	// many of those the ring has already overwritten, and DroppedSpans
+	// how many spans the cap refused.
+	Events        uint64    `json:"events"`
+	DroppedEvents uint64    `json:"dropped_events,omitempty"`
+	DroppedSpans  uint64    `json:"dropped_spans,omitempty"`
+	Trace         *SpanView `json:"trace"`
+}
+
+// View snapshots the trace as an exportable span tree. Valid at any
+// point in the job's life: open spans report duration up to now and are
+// flagged Open. Children are ordered by start time.
+func (t *Trace) View() *TraceView {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	complete := !end.IsZero()
+	if !complete {
+		end = now
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	views := make([]*SpanView, len(t.spans))
+	for i, sp := range t.spans {
+		se := sp.end
+		open := se.IsZero()
+		if open {
+			se = end
+		}
+		views[i] = &SpanView{
+			Name:       sp.name,
+			StartMS:    ms(sp.start.Sub(t.start)),
+			DurationMS: ms(se.Sub(sp.start)),
+			Open:       open && !complete,
+			Attrs:      attrMap(sp.attrs),
+		}
+	}
+	// The timeline ring in chronological order: once full, evNext is the
+	// oldest entry.
+	ordered := t.events
+	if len(t.events) == t.maxEvents && t.evNext > 0 {
+		ordered = make([]event, 0, len(t.events))
+		ordered = append(ordered, t.events[t.evNext:]...)
+		ordered = append(ordered, t.events[:t.evNext]...)
+	}
+	for _, ev := range ordered {
+		idx := ev.span
+		if int(idx) >= len(views) || idx < 0 {
+			idx = 0
+		}
+		views[idx].Events = append(views[idx].Events, EventView{
+			Name:  ev.name,
+			AtMS:  ms(ev.at.Sub(t.start)),
+			Attrs: attrMap(ev.attrs),
+		})
+	}
+	for i := 1; i < len(t.spans); i++ {
+		p := t.spans[i].parent
+		if p < 0 || int(p) >= len(views) {
+			p = 0
+		}
+		views[p].Children = append(views[p].Children, views[i])
+	}
+	// Spans are appended under one lock in Start order, but Interval
+	// records historical phases after the fact — sort each sibling list
+	// by start so the tree reads in time order.
+	for _, v := range views {
+		sort.SliceStable(v.Children, func(a, b int) bool {
+			return v.Children[a].StartMS < v.Children[b].StartMS
+		})
+	}
+	dropped := uint64(0)
+	if t.evTotal > uint64(len(t.events)) {
+		dropped = t.evTotal - uint64(len(t.events))
+	}
+	return &TraceView{
+		Job:           t.id,
+		StartedAt:     t.start.UTC().Format(time.RFC3339Nano),
+		DurationMS:    ms(end.Sub(t.start)),
+		Complete:      complete,
+		Spans:         len(t.spans),
+		Events:        t.evTotal,
+		DroppedEvents: dropped,
+		DroppedSpans:  t.dropped,
+		Trace:         views[0],
+	}
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}

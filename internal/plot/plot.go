@@ -12,11 +12,21 @@ import (
 	"strings"
 )
 
-// Series is one named curve.
+// Series is one named curve. Lo/Hi, when both set (parallel to Xs),
+// define an uncertainty band around the curve — e.g. mean±std across
+// benchmark repeats — rendered as a translucent region by SVG and
+// ignored by ASCII.
 type Series struct {
 	Label string
 	Xs    []float64
 	Ys    []float64
+	Lo    []float64
+	Hi    []float64
+}
+
+// hasBand reports whether the series carries a drawable uncertainty band.
+func (s *Series) hasBand() bool {
+	return len(s.Lo) > 0 && len(s.Hi) > 0
 }
 
 // Kind selects the chart geometry.
@@ -75,6 +85,15 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
 			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
 			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
 			ok = true
+			// The band must fit inside the plot too.
+			if s.hasBand() && i < len(s.Lo) && i < len(s.Hi) {
+				if lo := s.Lo[i]; !math.IsNaN(lo) && !math.IsInf(lo, 0) {
+					ymin = math.Min(ymin, lo)
+				}
+				if hi := s.Hi[i]; !math.IsNaN(hi) && !math.IsInf(hi, 0) {
+					ymax = math.Max(ymax, hi)
+				}
+			}
 		}
 	}
 	if !ok {

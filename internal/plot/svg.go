@@ -105,6 +105,27 @@ func (c *Chart) SVG(width, height int) string {
 	default:
 		for si, s := range c.Series {
 			color := colors[si%len(colors)]
+			// Uncertainty band first, so the curve draws on top: the upper
+			// edge traced forward, the lower edge back.
+			if s.hasBand() {
+				var band []string
+				for i := range s.Xs {
+					if i >= len(s.Hi) || math.IsNaN(s.Hi[i]) {
+						continue
+					}
+					band = append(band, fmt.Sprintf("%.1f,%.1f", px(s.Xs[i]), py(s.Hi[i])))
+				}
+				for i := len(s.Xs) - 1; i >= 0; i-- {
+					if i >= len(s.Lo) || math.IsNaN(s.Lo[i]) {
+						continue
+					}
+					band = append(band, fmt.Sprintf("%.1f,%.1f", px(s.Xs[i]), py(s.Lo[i])))
+				}
+				if len(band) > 2 {
+					fmt.Fprintf(&sb, `<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="none"/>`+"\n",
+						strings.Join(band, " "), color)
+				}
+			}
 			var pts []string
 			for i := range s.Xs {
 				if i >= len(s.Ys) || math.IsNaN(s.Ys[i]) {

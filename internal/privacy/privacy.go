@@ -23,6 +23,7 @@ import (
 
 	"secreta/internal/dataset"
 	"secreta/internal/generalize"
+	"secreta/internal/obs"
 )
 
 // Class is one equivalence class: the indices of records sharing a QI
@@ -260,6 +261,8 @@ func KMViolationsCtx(ctx context.Context, transactions [][]string, k, m, limit i
 		return nil, nil
 	}
 	vals, txs := internTransactions(transactions)
+	obs.FromCtx(ctx).Event("km_scan",
+		obs.Int("transactions", len(txs)), obs.Int("m", m))
 	var out []Violation
 	for size := 1; size <= m; size++ {
 		counts, err := countSupports(ctx, txs, len(vals), size)

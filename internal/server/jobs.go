@@ -2,15 +2,17 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"secreta/internal/obs"
 	"secreta/internal/store"
 )
 
@@ -71,6 +73,10 @@ type job struct {
 	cancel    context.CancelFunc
 	js        *jobStore
 	recovered bool
+	// trace records the job's lifecycle span tree. Set at submission (and
+	// for re-queued recovered jobs); nil for terminal jobs rehydrated from
+	// the journal, whose trace is served from the store's trace blobs.
+	trace *obs.Trace
 
 	mu        sync.Mutex
 	status    Status
@@ -174,13 +180,23 @@ func (j *job) finish(payload *jobResult, err error, ctxErr error, hasResult bool
 	// journal's close to decide between "cancelled forever" and
 	// "re-queued". Client cancellations (DELETE) journal normally, even
 	// when they race shutdown — explicitly stopped work must stay
-	// stopped.
+	// stopped. The trace follows the same rule: a re-queued job's next
+	// run records a fresh trace, so nothing is persisted here.
 	if status == StatusCancelled && !byClient && j.js.isShuttingDown() {
+		j.trace.Finish()
 		return
 	}
 	j.js.journal(func(jl *store.Journal) error {
 		return jl.Finish(j.id, string(status), errMsg, hasResult)
 	})
+	// Close the trace with the terminal status and persist the final
+	// snapshot beside the journal record, so GET /jobs/{id}/trace keeps
+	// answering after a restart.
+	if j.trace != nil {
+		j.trace.Root().SetAttr("status", string(status))
+		j.trace.Finish()
+		j.js.persistTrace(j.id, j.trace)
+	}
 }
 
 // snapshot returns the job's terminal view, lazily rehydrating a result
@@ -234,10 +250,21 @@ type jobStore struct {
 	jl      *store.Journal    // nil: memory-only
 	results *store.BlobDir    // nil: memory-only
 	chunks  *store.ChunkedDir // nil: memory-only
+	traces  *store.BlobDir    // nil: traces are memory-only
+	logger  *slog.Logger
 	// shuttingDown reports whether the server's base context is done —
 	// shutdown-driven cancellations are left un-finalized in the journal
 	// so the next boot re-queues them (see job.finish).
 	shuttingDown func() bool
+}
+
+// log returns the store's structured logger (the process default when
+// none was attached — memory-only stores and tests).
+func (s *jobStore) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.Default()
 }
 
 // isShuttingDown is nil-safe for memory-only stores and tests.
@@ -249,17 +276,35 @@ func newJobStore(max int) *jobStore {
 	return &jobStore{max: max, jobs: make(map[string]*job)}
 }
 
-// attachStore wires the journal and result-blob directory in and aligns
-// the ID sequence past everything the journal has seen, so recovered and
-// new jobs never collide. Must be called before the store takes traffic.
-func (s *jobStore) attachStore(jl *store.Journal, results *store.BlobDir, chunks *store.ChunkedDir) {
+// attachStore wires the journal, result-blob and trace-blob directories
+// in and aligns the ID sequence past everything the journal has seen, so
+// recovered and new jobs never collide. Must be called before the store
+// takes traffic.
+func (s *jobStore) attachStore(jl *store.Journal, results *store.BlobDir, chunks *store.ChunkedDir, traces *store.BlobDir) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jl = jl
 	s.results = results
 	s.chunks = chunks
+	s.traces = traces
 	if seq := jl.Seq(); seq > s.seq {
 		s.seq = seq
+	}
+}
+
+// persistTrace serializes a finished job's trace snapshot into the trace
+// blob dir. Failures degrade the trace to memory-only (lost on restart),
+// never the job itself.
+func (s *jobStore) persistTrace(id string, tr *obs.Trace) {
+	if s.traces == nil || tr == nil {
+		return
+	}
+	data, err := json.Marshal(tr.View())
+	if err == nil {
+		err = s.traces.Put(id, data)
+	}
+	if err != nil {
+		s.log().Warn("persisting job trace failed", "job_id", id, "err", err)
 	}
 }
 
@@ -273,7 +318,7 @@ func (s *jobStore) journal(fn func(*store.Journal) error) {
 		return
 	}
 	if err := fn(s.jl); err != nil {
-		log.Printf("secreta-serve: journal append failed: %v", err)
+		s.log().Error("journal append failed", "err", err)
 	}
 }
 
@@ -297,6 +342,10 @@ func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int, b
 		status:    StatusQueued,
 		submitted: time.Now(),
 	}
+	// The trace's root span opens at submission, so queue wait is visible
+	// in the tree from the first snapshot.
+	j.trace = obs.New(j.id)
+	j.trace.Root().SetAttr("kind", kind)
 	s.jobs[j.id] = j
 	evicted := s.evictLocked()
 	s.mu.Unlock()
@@ -333,10 +382,16 @@ func (s *jobStore) restore(rec store.JobRecord, load func() (*jobResult, error),
 		submitted: rec.SubmittedAt,
 	}
 	if status.Terminal() {
+		// Terminal jobs keep their persisted trace snapshot (served from
+		// the trace blob dir); no live trace is opened.
 		j.started = rec.StartedAt
 		j.finished = rec.FinishedAt
 	} else {
+		// A re-queued job records a fresh trace for its re-run.
 		j.status = StatusQueued
+		j.trace = obs.New(j.id)
+		j.trace.Root().SetAttr("kind", rec.Kind)
+		j.trace.Root().SetAttr("recovered", "true")
 	}
 	s.mu.Lock()
 	if rec.Seq > s.seq {
@@ -356,12 +411,17 @@ func (s *jobStore) dropDurable(ids []string) {
 		s.journal(func(jl *store.Journal) error { return jl.Delete(id) })
 		if s.results != nil {
 			if err := s.results.Delete(id); err != nil {
-				log.Printf("secreta-serve: deleting result blob %s: %v", id, err)
+				s.log().Warn("deleting result blob failed", "job_id", id, "err", err)
 			}
 		}
 		if s.chunks != nil {
 			if err := s.chunks.Delete(id); err != nil {
-				log.Printf("secreta-serve: deleting result stream %s: %v", id, err)
+				s.log().Warn("deleting result stream failed", "job_id", id, "err", err)
+			}
+		}
+		if s.traces != nil {
+			if err := s.traces.Delete(id); err != nil {
+				s.log().Warn("deleting trace blob failed", "job_id", id, "err", err)
 			}
 		}
 	}

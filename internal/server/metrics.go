@@ -153,6 +153,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			{"datasets", float64(ss.Datasets.Count), float64(ss.Datasets.Bytes)},
 			{"results", float64(ss.Results.Count), float64(ss.Results.Bytes)},
 			{"result_streams", float64(ss.ResultStreams.Count), float64(ss.ResultStreams.Bytes)},
+			{"traces", float64(ss.Traces.Count), float64(ss.Traces.Bytes)},
 			{"result_cache", float64(ss.ResultCache.Count), float64(ss.ResultCache.Bytes)},
 		}
 		p.start("secreta_store_blob_count", "gauge", "Durable blobs on disk by kind.")

@@ -65,22 +65,8 @@ type PhaseView struct {
 
 // snapshot computes nearest-rank percentiles over each phase's window.
 func (p *phaseStats) snapshot() map[string]PhaseView {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]PhaseView, len(p.samples))
-	for name, ring := range p.samples {
-		if len(ring) == 0 {
-			continue
-		}
-		sorted := append([]float64(nil), ring...)
-		sort.Float64s(sorted)
-		out[name] = PhaseView{
-			Count: p.total[name],
-			P50ms: percentile(sorted, 50) * 1000,
-			P95ms: percentile(sorted, 95) * 1000,
-		}
-	}
-	return out
+	views, _ := p.snapshotAll()
+	return views
 }
 
 // phaseQuantiles is the Prometheus-summary view of one phase: windowed
@@ -96,23 +82,39 @@ type phaseQuantiles struct {
 // lifetime counters so scrapers can derive rates across restarts of the
 // window.
 func (p *phaseStats) quantiles() map[string]phaseQuantiles {
+	_, qs := p.snapshotAll()
+	return qs
+}
+
+// snapshotAll computes both presentation views from one lock acquisition,
+// so a /stats response or a /metrics scrape is internally consistent —
+// two separate snapshots could straddle a record() and report a phase's
+// count under one family and not the other.
+func (p *phaseStats) snapshotAll() (map[string]PhaseView, map[string]phaseQuantiles) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make(map[string]phaseQuantiles, len(p.samples))
+	views := make(map[string]PhaseView, len(p.samples))
+	qs := make(map[string]phaseQuantiles, len(p.samples))
 	for name, ring := range p.samples {
 		if len(ring) == 0 {
 			continue
 		}
 		sorted := append([]float64(nil), ring...)
 		sort.Float64s(sorted)
-		out[name] = phaseQuantiles{
-			Q50:    percentile(sorted, 50),
-			Q95:    percentile(sorted, 95),
+		q50, q95 := percentile(sorted, 50), percentile(sorted, 95)
+		views[name] = PhaseView{
+			Count: p.total[name],
+			P50ms: q50 * 1000,
+			P95ms: q95 * 1000,
+		}
+		qs[name] = phaseQuantiles{
+			Q50:    q50,
+			Q95:    q95,
 			SumSec: p.sumSec[name],
 			Count:  p.total[name],
 		}
 	}
-	return out
+	return views, qs
 }
 
 // percentile is the nearest-rank percentile of an ascending sample.

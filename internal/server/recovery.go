@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
 	"time"
 
 	"secreta/internal/dataset"
@@ -130,7 +129,13 @@ func (s *Server) recover() {
 	s.recMu.Unlock()
 	s.ready.Store(true)
 	js := s.st.Journal.Stats()
-	log.Printf("secreta-serve: recovery complete in %.3fs: %d jobs restored, %d re-queued, %d failed to re-queue (replayed %d snapshot jobs + %d WAL records, torn tail: %v)",
-		info.DurationSec, info.RestoredJobs, info.RequeuedJobs, info.FailedRequeues,
-		js.Replay.SnapshotJobs, js.Replay.WALRecords, js.Replay.TornTail)
+	s.log().Info("recovery complete",
+		"duration_s", info.DurationSec,
+		"restored_jobs", info.RestoredJobs,
+		"requeued_jobs", info.RequeuedJobs,
+		"failed_requeues", info.FailedRequeues,
+		"snapshot_jobs", js.Replay.SnapshotJobs,
+		"wal_records", js.Replay.WALRecords,
+		"torn_tail", js.Replay.TornTail,
+	)
 }

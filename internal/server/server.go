@@ -31,7 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -46,9 +46,11 @@ import (
 	"secreta/internal/gen"
 	"secreta/internal/generalize"
 	"secreta/internal/hierarchy"
+	"secreta/internal/obs"
 	"secreta/internal/query"
 	"secreta/internal/registry"
 	"secreta/internal/store"
+	"secreta/internal/timing"
 )
 
 // Options configures a Server.
@@ -87,6 +89,8 @@ type Options struct {
 	// comment). The caller owns the store's lifecycle and must Close it
 	// after the server's context is cancelled and jobs have drained.
 	Store *store.Store
+	// Logger receives the server's structured logs (nil: slog.Default()).
+	Logger *slog.Logger
 }
 
 // Registry defaults: generous enough for interactive use, bounded enough
@@ -111,7 +115,10 @@ type Server struct {
 	registry *registry.Registry
 	st       *store.Store // nil: memory-only
 	phases   *phaseStats
-	baseCtx  context.Context
+	logger   *slog.Logger
+	// dash holds the dashboard's short sparkline history (see dashboard.go).
+	dash    *dashHistory
+	baseCtx context.Context
 	// ready gates traffic: false while WAL replay re-populates the job
 	// table. Memory-only servers are born ready.
 	ready    atomic.Bool
@@ -191,6 +198,8 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 		registry:    reg,
 		st:          opts.Store,
 		phases:      newPhaseStats(),
+		logger:      opts.Logger,
+		dash:        newDashHistory(),
 		baseCtx:     ctx,
 		slots:       make(chan struct{}, opts.MaxConcurrentJobs),
 		uploadSlots: make(chan struct{}, opts.MaxConcurrentJobs),
@@ -206,18 +215,31 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /jobs/{id}/result/stream", s.handleJobResultStream)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	s.mux.HandleFunc("GET /dashboard/data", s.handleDashboardData)
+	s.jobs.logger = opts.Logger
 	if s.st == nil {
 		s.ready.Store(true)
 	} else {
-		s.jobs.attachStore(s.st.Journal, s.st.Results, s.st.ResultChunks)
+		s.jobs.attachStore(s.st.Journal, s.st.Results, s.st.ResultChunks, s.st.Traces)
 		s.jobs.shuttingDown = func() bool { return ctx.Err() != nil }
 		go s.recover()
 	}
 	return s, nil
+}
+
+// log returns the server's structured logger, falling back to the process
+// default.
+func (s *Server) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.Default()
 }
 
 // Handler returns the routed HTTP handler, wrapped in the readiness
@@ -522,7 +544,7 @@ func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob
 			return nil, err
 		}
 		fn := func(ctx context.Context) (*jobOutcome, error) {
-			ds, err := load()
+			ds, err := s.loadTraced(ctx, load)
 			if err != nil {
 				return nil, err
 			}
@@ -593,7 +615,7 @@ func (s *Server) prepareCompare(req *CompareRequest) (*preparedJob, error) {
 		return nil, err
 	}
 	fn := func(ctx context.Context) (*jobOutcome, error) {
-		ds, err := load()
+		ds, err := s.loadTraced(ctx, load)
 		if err != nil {
 			return nil, err
 		}
@@ -619,7 +641,7 @@ func (s *Server) prepareCompare(req *CompareRequest) (*preparedJob, error) {
 // result was served from the cache — payloads surface it so a copied
 // runtime_s is never mistaken for a fresh measurement.
 func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, load func() (*dataset.Dataset, error), cfg engine.Config, fanout int, workload *query.Workload) (*engine.Result, bool, error) {
-	ds, err := load()
+	ds, err := s.loadTraced(ctx, load)
 	if err != nil {
 		return nil, false, err
 	}
@@ -644,8 +666,44 @@ func (s *Server) runSingle(ctx context.Context, sched *engine.Scheduler, load fu
 		// Fold the measured phase breakdown into the /stats aggregates; a
 		// cache hit replays stored timings and would skew the percentiles.
 		s.phases.record(item.Result.Phases)
+		s.logPhases(ctx, ds, item.Result.Phases)
 	}
 	return item.Result, item.CacheHit, nil
+}
+
+// loadTraced wraps a job's dataset load in a trace span annotated with the
+// dataset's content fingerprint and size.
+func (s *Server) loadTraced(ctx context.Context, load func() (*dataset.Dataset, error)) (*dataset.Dataset, error) {
+	sp := obs.FromCtx(ctx).Start("dataset_load")
+	defer sp.End()
+	ds, err := load()
+	if err != nil {
+		sp.SetAttr("err", err.Error())
+		return nil, err
+	}
+	sp.SetAttr("fingerprint", ds.Fingerprint())
+	sp.SetAttr("records", strconv.Itoa(len(ds.Records)))
+	return ds, nil
+}
+
+// logPhases emits one structured log line per measured algorithm phase —
+// job_id (the trace's job), dataset fingerprint, phase name, duration —
+// the queryable form of the per-job phase breakdown.
+func (s *Server) logPhases(ctx context.Context, ds *dataset.Dataset, phases []timing.Phase) {
+	if len(phases) == 0 {
+		return
+	}
+	lg := s.log()
+	jobID := obs.FromCtx(ctx).TraceID()
+	fp := ds.Fingerprint()
+	for _, ph := range phases {
+		lg.Info("phase complete",
+			"job_id", jobID,
+			"dataset", fp,
+			"phase", ph.Name,
+			"duration_s", ph.Duration.Seconds(),
+		)
+	}
 }
 
 // ---- handlers ----
@@ -804,6 +862,35 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// handleJobTrace serves a job's lifecycle span tree. A job with a live
+// trace (queued, running, or finished this process lifetime) answers from
+// the in-memory recorder — mid-flight snapshots show open spans with
+// durations up to now. A terminal job recovered from the journal answers
+// from its persisted trace snapshot, so traces survive restart.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		s.notFound(w, id)
+		return
+	}
+	if j.trace != nil {
+		writeJSON(w, http.StatusOK, j.trace.View())
+		return
+	}
+	if s.st != nil {
+		if data, err := s.st.Traces.Get(id); err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, map[string]any{
+		"error": fmt.Sprintf("no trace recorded for job %q", id),
+	})
+}
+
 // handleJobResult serves a finished job's result as one JSON document,
 // assembled incrementally from the retained record stream for anonymize
 // jobs (the bytes are identical to the historical fully-buffered
@@ -843,7 +930,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		// The 200 is already on the wire. Abort the connection so the
 		// client sees a broken transfer (no terminating chunk), never a
 		// transport-complete response with a silently truncated body.
-		log.Printf("secreta-serve: assembling result of %s: %v", j.id, err)
+		s.log().Error("assembling result failed mid-response", "job_id", j.id, "err", err)
 		panic(http.ErrAbortHandler)
 	}
 }
@@ -917,10 +1004,13 @@ func (s *Server) handleJobResultStream(w http.ResponseWriter, r *http.Request) {
 		// A server-side failure (e.g. a corrupt result file) mid-stream:
 		// abort the connection rather than ending the chunked body
 		// cleanly, so the short stream cannot be mistaken for complete.
-		log.Printf("secreta-serve: streaming result of %s: %v", j.id, err)
+		s.log().Error("streaming result failed mid-response", "job_id", j.id, "err", err)
 		panic(http.ErrAbortHandler)
 	}
 	s.streams.served.Add(1)
+	// Visible in the live trace of a job still in memory; the persisted
+	// snapshot (written at job finish) predates delivery by construction.
+	j.trace.Root().Event("stream_served")
 }
 
 // writeUnfinished answers a result request for a job that is not done.
@@ -1048,13 +1138,16 @@ func (s *Server) submit(w http.ResponseWriter, kind string, body []byte, p *prep
 func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, p *preparedJob) {
 	defer p.release()
 	defer cancel()
+	queueSpan := j.trace.Root().Start("queue_wait")
 	select {
 	case s.slots <- struct{}{}:
 		defer func() { <-s.slots }()
 	case <-ctx.Done():
+		queueSpan.End()
 		j.finish(nil, ctx.Err(), ctx.Err(), false)
 		return
 	}
+	queueSpan.End()
 	// The slot race can admit a job whose context was cancelled while
 	// it queued; don't burn the slot on dataset decoding for it.
 	if err := ctx.Err(); err != nil {
@@ -1069,7 +1162,13 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	}
 	defer cancelRun()
 	j.start()
+	// Everything the job does — dataset load, engine run with its phase
+	// breakdown, algorithm events — nests under the execute span via the
+	// context.
+	execSpan := j.trace.Root().Start("execute")
+	runCtx = obs.With(runCtx, execSpan)
 	outcome, err := p.fn(runCtx)
+	execSpan.End()
 	s.finishJob(j, outcome, err, runCtx.Err())
 }
 
@@ -1091,6 +1190,7 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 	// an outcome with no error is done even if the deadline fired as fn
 	// returned.
 	if err == nil && outcome != nil {
+		persistSpan := j.trace.Root().Start("persist")
 		switch {
 		case outcome.payload != nil:
 			res = &jobResult{full: outcome.payload}
@@ -1098,7 +1198,7 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 				if werr := s.st.Results.Put(j.id, outcome.payload); werr != nil {
 					// The job still answers from memory; only post-restart
 					// retrieval is lost.
-					log.Printf("secreta-serve: persisting result of %s: %v", j.id, werr)
+					s.log().Warn("persisting result failed", "job_id", j.id, "err", werr)
 				} else {
 					hasResult = true
 				}
@@ -1107,7 +1207,7 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 			res = &jobResult{meta: outcome.meta}
 			if s.st != nil {
 				if werr := s.writeChunkedResult(j.id, outcome.meta, outcome.records); werr != nil {
-					log.Printf("secreta-serve: persisting result stream of %s: %v", j.id, werr)
+					s.log().Warn("persisting result stream failed", "job_id", j.id, "err", werr)
 				} else {
 					hasResult = true
 				}
@@ -1118,6 +1218,7 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 				res.recs = memRecords{src: retainSource(outcome.records)}
 			}
 		}
+		persistSpan.End()
 	}
 	j.finish(res, err, ctxErr, hasResult)
 }

@@ -89,8 +89,15 @@ func getJSON(t *testing.T, url string) (int, map[string]any) {
 
 // pollDone polls the job until it reaches a terminal status.
 func pollDone(t *testing.T, base, id string) Status {
+	return pollDoneWithin(t, base, id, 30*time.Second)
+}
+
+// pollDoneWithin is pollDone with an explicit budget, for jobs whose
+// legitimate wall time approaches the default (the 260k-record stream
+// job under -race on a loaded 1-CPU box crosses 30s).
+func pollDoneWithin(t *testing.T, base, id string, budget time.Duration) Status {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		_, body := getJSON(t, base+"/jobs/"+id)
 		st := Status(body["status"].(string))
@@ -99,7 +106,7 @@ func pollDone(t *testing.T, base, id string) Status {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatalf("job %s did not finish in 30s", id)
+	t.Fatalf("job %s did not finish in %v", id, budget)
 	return ""
 }
 

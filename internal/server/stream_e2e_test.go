@@ -42,7 +42,7 @@ func submitBigAnonymize(t *testing.T, base string, raw json.RawMessage) string {
 	if id == "" {
 		t.Fatalf("submit failed: %v", body)
 	}
-	if st := pollDone(t, base, id); st != StatusDone {
+	if st := pollDoneWithin(t, base, id, 2*time.Minute); st != StatusDone {
 		t.Fatalf("job finished as %s", st)
 	}
 	return id

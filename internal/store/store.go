@@ -10,6 +10,7 @@
 //	  datasets/<fingerprint>.meta   cached {attrs, records, bytes} sidecar
 //	  results/<job-id>.json         terminal job result payloads
 //	  results/<job-id>.ndr          chunked record streams (framed, CRC'd)
+//	  traces/<job-id>.json          terminal job trace snapshots (span trees)
 //	  cache/<sha256(key)>.json      persisted result-cache entries
 //	  journal/wal.log               append-only checksummed job journal
 //	  journal/snapshot.json         job-table snapshot (WAL truncation point)
@@ -69,6 +70,10 @@ type Store struct {
 	// the on-disk form streaming delivery serves without ever loading a
 	// whole result into memory.
 	ResultChunks *ChunkedDir
+	// Traces holds the final trace snapshot (JSON span tree) of each
+	// terminal job, job-ID-named — what GET /jobs/{id}/trace serves after
+	// a restart.
+	Traces *BlobDir
 	// Cache spills engine result-cache entries to disk.
 	Cache *CacheStore
 	// Journal is the WAL-backed job table.
@@ -79,7 +84,7 @@ type Store struct {
 	// on every probe.
 	statsMu    sync.Mutex
 	statsAt    time.Time
-	statsBlobs [4]BlobStats // datasets, results, result chunks, cache
+	statsBlobs [5]BlobStats // datasets, results, result chunks, traces, cache
 }
 
 // statsTTL bounds how stale the cached blob-walk numbers can be.
@@ -108,6 +113,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	traces, err := NewBlobDir(filepath.Join(dir, "traces"), ".json")
+	if err != nil {
+		return nil, err
+	}
 	cache, err := NewCacheStore(filepath.Join(dir, "cache"), opts.CacheMaxEntries, opts.CacheMaxBytes)
 	if err != nil {
 		return nil, err
@@ -121,6 +130,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		Datasets:     datasets,
 		Results:      results,
 		ResultChunks: chunks,
+		Traces:       traces,
 		Cache:        cache,
 		Journal:      journal,
 	}, nil
@@ -148,7 +158,9 @@ type Stats struct {
 	Results  BlobStats `json:"results"`
 	// ResultStreams counts the chunked record-stream files next to the
 	// plain result payloads.
-	ResultStreams       BlobStats    `json:"result_streams"`
+	ResultStreams BlobStats `json:"result_streams"`
+	// Traces counts the persisted terminal-job trace snapshots.
+	Traces              BlobStats    `json:"traces"`
 	ResultCache         BlobStats    `json:"result_cache"`
 	ResultCacheMaxCount int          `json:"result_cache_max_count"`
 	ResultCacheMaxBytes int64        `json:"result_cache_max_bytes"`
@@ -161,7 +173,7 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	s.statsMu.Lock()
 	if time.Since(s.statsAt) >= statsTTL {
-		s.statsBlobs = [4]BlobStats{s.Datasets.Stats(), s.Results.Stats(), s.ResultChunks.Stats(), s.Cache.Stats()}
+		s.statsBlobs = [5]BlobStats{s.Datasets.Stats(), s.Results.Stats(), s.ResultChunks.Stats(), s.Traces.Stats(), s.Cache.Stats()}
 		s.statsAt = time.Now()
 	}
 	blobs := s.statsBlobs
@@ -171,7 +183,8 @@ func (s *Store) Stats() Stats {
 		Datasets:            blobs[0],
 		Results:             blobs[1],
 		ResultStreams:       blobs[2],
-		ResultCache:         blobs[3],
+		Traces:              blobs[3],
+		ResultCache:         blobs[4],
 		ResultCacheMaxCount: maxEntries,
 		ResultCacheMaxBytes: maxBytes,
 		Journal:             s.Journal.Stats(),

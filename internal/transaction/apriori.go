@@ -8,6 +8,7 @@ import (
 	"secreta/internal/dataset"
 	"secreta/internal/generalize"
 	"secreta/internal/hierarchy"
+	"secreta/internal/obs"
 	"secreta/internal/timing"
 )
 
@@ -70,6 +71,8 @@ func aprioriOnCut(ctx context.Context, ds *dataset.Dataset, idx []int, cut *hier
 		if err := st.buildCounts(ctx, size); err != nil {
 			return gens, err
 		}
+		obs.FromCtx(ctx).Event("apriori_round",
+			obs.Int("size", size), obs.Int("generalizations", gens))
 		for {
 			if err := ctxErr(ctx); err != nil {
 				return gens, err

@@ -6,16 +6,18 @@
 # references cannot silently drift from the code.
 set -eu
 
-server_src="internal/server/server.go"
+server_src="internal/server"
 serve_main="cmd/secreta-serve/main.go"
 api_doc="docs/API.md"
 ops_doc="docs/OPERATIONS.md"
 
-# `|| true` keeps set -e from aborting on grep's no-match exit before the
-# diagnostic below can fire.
-routes=$(grep -oE 'HandleFunc\("[A-Z]+ [^"]+"' "$server_src" | sed -E 's/HandleFunc\("([A-Z]+) ([^"]+)"/\1 \2/' || true)
+# Routes can be registered from any file in the server package (the
+# dashboard ones live in dashboard.go), so scan them all, not just
+# server.go. `|| true` keeps set -e from aborting on grep's no-match
+# exit before the diagnostic below can fire.
+routes=$(grep -hoE 'HandleFunc\("[A-Z]+ [^"]+"' "$server_src"/*.go | sed -E 's/HandleFunc\("([A-Z]+) ([^"]+)"/\1 \2/' | sort -u || true)
 if [ -z "$routes" ]; then
-    echo "docs_freshness: no routes found in $server_src (pattern drift?)" >&2
+    echo "docs_freshness: no routes found in $server_src/*.go (pattern drift?)" >&2
     exit 1
 fi
 
