@@ -52,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"secreta/internal/faultfs"
 	"secreta/internal/server"
 	"secreta/internal/store"
 )
@@ -71,6 +72,8 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal appends between snapshots (0: default 256)")
 	diskCacheEntries := flag.Int("disk-cache-entries", 0, "disk result cache entry cap (0: default 4096); needs -data-dir")
 	diskCacheBytes := flag.Int64("disk-cache-bytes", 0, "disk result cache byte cap (0: default 2 GiB); needs -data-dir")
+	storeRetries := flag.Int("store-retries", 0, "store I/O attempts on transient errors, first try included (0: default 3, 1: no retries); needs -data-dir")
+	degradedProbe := flag.Duration("degraded-probe-interval", 0, "how often a degraded server probes storage to re-arm writes (0: default 5s); needs -data-dir")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof profiling; keep it on localhost, never public (empty: disabled)")
 	flag.Parse()
@@ -101,21 +104,24 @@ func main() {
 	logger.Info("secreta-serve listening",
 		"addr", ln.Addr().String(), "workers", *workers, "data_dir", *dataDir)
 	opts := server.Options{
-		Workers:             *workers,
-		MaxBodyBytes:        *maxBody,
-		MaxConcurrentJobs:   *maxConcurrent,
-		MaxPendingJobs:      *maxPending,
-		CacheMaxEntries:     *cacheEntries,
-		CacheMaxBytes:       *cacheBytes,
-		RegistryMaxDatasets: *registryDatasets,
-		RegistryMaxBytes:    *registryBytes,
-		JobTimeout:          *jobTimeout,
-		Logger:              logger,
+		Workers:               *workers,
+		MaxBodyBytes:          *maxBody,
+		MaxConcurrentJobs:     *maxConcurrent,
+		MaxPendingJobs:        *maxPending,
+		CacheMaxEntries:       *cacheEntries,
+		CacheMaxBytes:         *cacheBytes,
+		RegistryMaxDatasets:   *registryDatasets,
+		RegistryMaxBytes:      *registryBytes,
+		JobTimeout:            *jobTimeout,
+		DegradedProbeInterval: *degradedProbe,
+		Logger:                logger,
 	}
 	stOpts := store.Options{
 		SnapshotEvery:   *snapshotEvery,
 		CacheMaxEntries: *diskCacheEntries,
 		CacheMaxBytes:   *diskCacheBytes,
+		FS:              faultfs.WithRetry(faultfs.OS, faultfs.RetryPolicy{Attempts: *storeRetries}),
+		Logger:          logger,
 	}
 	if err := run(ctx, ln, debugLn, opts, *dataDir, stOpts); err != nil {
 		logger.Error("server exited", "err", err)

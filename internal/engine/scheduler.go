@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"secreta/internal/dataset"
+	"secreta/internal/faultfs"
 	"secreta/internal/obs"
 	"secreta/internal/policy"
 	"secreta/internal/registry"
@@ -298,14 +299,18 @@ type CacheStats struct {
 	Misses uint64 `json:"misses"`
 	// DiskHits are hits served by rehydrating a persisted entry after a
 	// RAM miss; DiskErrors count backing failures (degraded, not fatal).
-	DiskHits   uint64 `json:"disk_hits"`
-	DiskErrors uint64 `json:"disk_errors"`
-	Entries    int    `json:"entries"`
-	Bytes      int64  `json:"bytes"`
-	MaxEntries int    `json:"max_entries"`
-	MaxBytes   int64  `json:"max_bytes"`
-	Evictions  uint64 `json:"evictions"`
-	Rejected   uint64 `json:"rejected"`
+	// DiskTransient is the subset of DiskErrors that classified transient
+	// (faultfs.IsTransient) — a flaky disk shows here, a broken one only
+	// in DiskErrors.
+	DiskHits      uint64 `json:"disk_hits"`
+	DiskErrors    uint64 `json:"disk_errors"`
+	DiskTransient uint64 `json:"disk_transient"`
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	MaxEntries    int    `json:"max_entries"`
+	MaxBytes      int64  `json:"max_bytes"`
+	Evictions     uint64 `json:"evictions"`
+	Rejected      uint64 `json:"rejected"`
 }
 
 // Default result-cache caps: a long-lived server must not grow without
@@ -333,8 +338,10 @@ type Cache struct {
 	// diskHits counts lookups served by rehydrating a persisted entry
 	// (a subset of hits); diskErrors counts backing failures, which
 	// degrade to misses/unsaved entries rather than failing the run.
-	diskHits   uint64
-	diskErrors uint64
+	// diskTransient is the transient-classed subset of diskErrors.
+	diskHits      uint64
+	diskErrors    uint64
+	diskTransient uint64
 }
 
 // flight is one in-progress computation. done is closed when the leader
@@ -381,7 +388,7 @@ func (c *Cache) lookup(key string, cfg Config) (*Result, bool) {
 	}
 	data, err := b.LoadResult(key)
 	if err != nil {
-		c.countDiskError()
+		c.countDiskError(err)
 		return nil, false
 	}
 	if data == nil {
@@ -389,7 +396,7 @@ func (c *Cache) lookup(key string, cfg Config) (*Result, bool) {
 	}
 	r, err := decodeResult(data, cfg)
 	if err != nil {
-		c.countDiskError()
+		c.countDiskError(err)
 		return nil, false
 	}
 	c.lru.Put(key, r, resultCost(r))
@@ -400,9 +407,12 @@ func (c *Cache) lookup(key string, cfg Config) (*Result, bool) {
 	return r, true
 }
 
-func (c *Cache) countDiskError() {
+func (c *Cache) countDiskError(err error) {
 	c.mu.Lock()
 	c.diskErrors++
+	if faultfs.IsTransient(err) {
+		c.diskTransient++
+	}
 	c.mu.Unlock()
 }
 
@@ -462,7 +472,7 @@ func (c *Cache) spill(key string, r *Result) {
 		err = b.SaveResult(key, data)
 	}
 	if err != nil {
-		c.countDiskError()
+		c.countDiskError(err)
 	}
 }
 
@@ -485,15 +495,16 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		DiskHits:   c.diskHits,
-		DiskErrors: c.diskErrors,
-		Entries:    ls.Entries,
-		Bytes:      ls.Bytes,
-		MaxEntries: ls.MaxEntries,
-		MaxBytes:   ls.MaxBytes,
-		Evictions:  ls.Evictions,
-		Rejected:   ls.Rejected,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		DiskHits:      c.diskHits,
+		DiskErrors:    c.diskErrors,
+		DiskTransient: c.diskTransient,
+		Entries:       ls.Entries,
+		Bytes:         ls.Bytes,
+		MaxEntries:    ls.MaxEntries,
+		MaxBytes:      ls.MaxBytes,
+		Evictions:     ls.Evictions,
+		Rejected:      ls.Rejected,
 	}
 }

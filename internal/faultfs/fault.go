@@ -1,0 +1,359 @@
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one filesystem operation class for rule matching and the
+// ledger.
+type Op string
+
+// The operation classes FaultFS distinguishes. OpAny in a Rule matches
+// every class.
+const (
+	OpAny       Op = ""
+	OpOpen      Op = "open"
+	OpCreate    Op = "create"
+	OpWrite     Op = "write"
+	OpRead      Op = "read"
+	OpSync      Op = "sync"
+	OpSyncDir   Op = "syncdir"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpMkdir     Op = "mkdirall"
+	OpReadFile  Op = "readfile"
+	OpWriteFile Op = "writefile"
+	OpStat      Op = "stat"
+	OpReadDir   Op = "readdir"
+	OpTruncate  Op = "truncate"
+)
+
+// Rule arms one injection. A rule matches an operation when Op is OpAny
+// or equal to the operation's class, and Path is empty or globs the
+// operation's path: against the base name, or — when the glob contains a
+// separator — against the same number of trailing path segments (so
+// "journal/*" pins the journal directory wherever the data dir lives).
+// Matches are
+// counted per rule; the rule fires at the Nth match (1-based; Nth <= 0
+// fires from the first match) and Count bounds the total number of fires
+// (0 fires once, Count < 0 fires on every match from Nth on — a disk
+// that stays broken until the rule is cleared). With Prob in (0, 1], firing
+// is instead decided per match by the FaultFS's seeded generator, so a
+// fuzz-style run is reproducible from its seed.
+type Rule struct {
+	Op    Op
+	Path  string
+	Nth   int
+	Count int
+	Prob  float64
+	// Err is the injected error (default syscall.EIO). Use
+	// syscall.ENOSPC for disk-full, syscall.EINTR/EAGAIN for
+	// transient-classed faults.
+	Err error
+	// Short, on write-class operations (OpWrite, OpWriteFile), first
+	// passes Short bytes through to the inner FS and then fails — a torn
+	// write, as a crash or a full disk mid-write leaves it.
+	Short int
+}
+
+// matches reports whether the rule covers (op, path).
+func (r *Rule) matches(op Op, path string) bool {
+	if r.Op != OpAny && r.Op != op {
+		return false
+	}
+	if r.Path == "" {
+		return true
+	}
+	target := filepath.Base(path)
+	if strings.ContainsRune(r.Path, '/') {
+		segs := strings.Count(r.Path, "/") + 1
+		parts := strings.Split(filepath.ToSlash(path), "/")
+		if len(parts) > segs {
+			parts = parts[len(parts)-segs:]
+		}
+		target = strings.Join(parts, "/")
+	}
+	ok, err := filepath.Match(r.Path, target)
+	return err == nil && ok
+}
+
+// OpRecord is one ledger entry: the Seq-th operation the FaultFS saw,
+// and whether a rule injected a fault into it.
+type OpRecord struct {
+	Seq      int
+	Op       Op
+	Path     string
+	Injected bool
+}
+
+// armedRule tracks one rule's match/fire progress.
+type armedRule struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// FaultFS wraps an inner FS and injects faults per its armed rules.
+// Every operation — fault or passthrough — is appended to a ledger for
+// test assertions. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*armedRule
+	ledger   []OpRecord
+	rng      *rand.Rand
+	injected int
+}
+
+// NewFaultFS wraps inner. seed drives probabilistic rules (Rule.Prob):
+// the same seed and operation sequence reproduce the same faults.
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm adds a rule. Rules are checked in arming order; the first one that
+// fires wins the operation.
+func (f *FaultFS) Arm(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &armedRule{Rule: r})
+}
+
+// Clear disarms every rule — the injected disk "recovers". The ledger is
+// kept.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Ledger returns a copy of every operation seen so far.
+func (f *FaultFS) Ledger() []OpRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]OpRecord, len(f.ledger))
+	copy(out, f.ledger)
+	return out
+}
+
+// Injected reports how many operations had a fault injected.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// check records the operation and decides whether a rule fires on it.
+// The returned rule is a snapshot — safe to read without the lock.
+func (f *FaultFS) check(op Op, path string) (Rule, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec := OpRecord{Seq: len(f.ledger), Op: op, Path: path}
+	for _, ar := range f.rules {
+		if !ar.matches(op, path) {
+			continue
+		}
+		ar.seen++
+		fire := false
+		switch {
+		case ar.Prob > 0:
+			fire = f.rng.Float64() < ar.Prob
+		case ar.Nth <= 0 || ar.seen >= ar.Nth:
+			fire = true
+		}
+		if fire && ar.Count >= 0 {
+			limit := ar.Count
+			if limit == 0 {
+				limit = 1
+			}
+			if ar.fired >= limit {
+				fire = false
+			}
+		}
+		if !fire {
+			continue
+		}
+		ar.fired++
+		rec.Injected = true
+		f.ledger = append(f.ledger, rec)
+		f.injected++
+		return ar.Rule, true
+	}
+	f.ledger = append(f.ledger, rec)
+	return Rule{}, false
+}
+
+// injectedErr resolves a firing rule's error (EIO when unset).
+func injectedErr(r Rule) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return syscall.EIO
+}
+
+// pathErr wraps an injected error the way the os package would, so
+// errors.Is(err, fs.ErrNotExist)-style checks behave identically for
+// injected and real failures.
+func pathErr(op string, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: fmt.Errorf("faultfs injected: %w", err)}
+}
+
+// ---- FS implementation ----
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if r, ok := f.check(OpOpen, name); ok {
+		return nil, pathErr("open", name, injectedErr(r))
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if r, ok := f.check(OpOpen, name); ok {
+		return nil, pathErr("open", name, injectedErr(r))
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if r, ok := f.check(OpCreate, name); ok {
+		return nil, pathErr("create", name, injectedErr(r))
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if r, ok := f.check(OpCreate, filepath.Join(dir, pattern)); ok {
+		return nil, pathErr("createtemp", filepath.Join(dir, pattern), injectedErr(r))
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: file.Name()}, nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if r, ok := f.check(OpMkdir, path); ok {
+		return pathErr("mkdirall", path, injectedErr(r))
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if r, ok := f.check(OpRename, newpath); ok {
+		return pathErr("rename", newpath, injectedErr(r))
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if r, ok := f.check(OpRemove, name); ok {
+		return pathErr("remove", name, injectedErr(r))
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if r, ok := f.check(OpSyncDir, dir); ok {
+		return pathErr("syncdir", dir, injectedErr(r))
+	}
+	return f.inner.SyncDir(dir)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if r, ok := f.check(OpReadFile, name); ok {
+		return nil, pathErr("readfile", name, injectedErr(r))
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if r, ok := f.check(OpWriteFile, name); ok {
+		err := pathErr("writefile", name, injectedErr(r))
+		if r.Short > 0 && r.Short < len(data) {
+			// A torn whole-file write: the prefix lands, the error is
+			// reported — exactly what ENOSPC mid-write leaves behind.
+			f.inner.WriteFile(name, data[:r.Short], perm)
+		}
+		return err
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if r, ok := f.check(OpStat, name); ok {
+		return nil, pathErr("stat", name, injectedErr(r))
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r, ok := f.check(OpReadDir, name); ok {
+		return nil, pathErr("readdir", name, injectedErr(r))
+	}
+	return f.inner.ReadDir(name)
+}
+
+// faultFile routes per-handle operations back through the injector.
+// Close is deliberately not injectable — no store path treats Close as
+// the durability point (Sync is), and failing it only muddies ledgers.
+type faultFile struct {
+	File
+	fs   *FaultFS
+	path string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if r, ok := f.fs.check(OpWrite, f.path); ok {
+		n := 0
+		if r.Short > 0 && r.Short < len(p) {
+			// Torn write: the first Short bytes reach the file.
+			n, _ = f.File.Write(p[:r.Short])
+		}
+		return n, pathErr("write", f.path, injectedErr(r))
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if r, ok := f.fs.check(OpRead, f.path); ok {
+		return 0, pathErr("read", f.path, injectedErr(r))
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Sync() error {
+	if r, ok := f.fs.check(OpSync, f.path); ok {
+		return pathErr("sync", f.path, injectedErr(r))
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if r, ok := f.fs.check(OpTruncate, f.path); ok {
+		return pathErr("truncate", f.path, injectedErr(r))
+	}
+	return f.File.Truncate(size)
+}

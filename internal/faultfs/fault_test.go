@@ -1,0 +1,163 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestPassthroughLedger verifies a rule-free FaultFS behaves exactly like
+// the OS while recording every operation.
+func TestPassthroughLedger(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	p := filepath.Join(dir, "a.txt")
+	if err := ff.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := ff.ReadFile(p)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile: %q, %v", data, err)
+	}
+	if err := ff.Remove(p); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	led := ff.Ledger()
+	if len(led) != 3 {
+		t.Fatalf("ledger has %d entries, want 3: %+v", len(led), led)
+	}
+	wantOps := []Op{OpWriteFile, OpReadFile, OpRemove}
+	for i, rec := range led {
+		if rec.Op != wantOps[i] || rec.Injected {
+			t.Fatalf("ledger[%d] = %+v, want op %s uninjected", i, rec, wantOps[i])
+		}
+		if rec.Seq != i {
+			t.Fatalf("ledger[%d].Seq = %d", i, rec.Seq)
+		}
+	}
+	if ff.Injected() != 0 {
+		t.Fatalf("Injected() = %d, want 0", ff.Injected())
+	}
+}
+
+// TestNthMatchingOp verifies a rule fires at exactly the N-th matching
+// operation, once, and that the injected error carries the armed errno.
+func TestNthMatchingOp(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWriteFile, Path: "*.json", Nth: 2, Err: syscall.ENOSPC})
+
+	if err := ff.WriteFile(filepath.Join(dir, "a.json"), []byte("1"), 0o644); err != nil {
+		t.Fatalf("first matching write should pass: %v", err)
+	}
+	// A non-matching path must not advance the rule's match counter.
+	if err := ff.WriteFile(filepath.Join(dir, "b.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("non-matching write should pass: %v", err)
+	}
+	err := ff.WriteFile(filepath.Join(dir, "c.json"), []byte("2"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second matching write: got %v, want ENOSPC", err)
+	}
+	// Count defaults to one fire; the rule is spent.
+	if err := ff.WriteFile(filepath.Join(dir, "d.json"), []byte("3"), 0o644); err != nil {
+		t.Fatalf("third matching write should pass (rule spent): %v", err)
+	}
+	if ff.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", ff.Injected())
+	}
+}
+
+// TestStickyRuleAndClear verifies Count < 0 keeps a disk broken until
+// Clear heals it — the shape degraded-mode probing depends on.
+func TestStickyRuleAndClear(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWriteFile, Count: -1, Err: syscall.EIO})
+	p := filepath.Join(dir, "x")
+	for i := 0; i < 3; i++ {
+		if err := ff.WriteFile(p, []byte("x"), 0o644); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("write %d: got %v, want EIO", i, err)
+		}
+	}
+	ff.Clear()
+	if err := ff.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+// TestShortWrite verifies a torn write passes exactly Short bytes
+// through before failing.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWrite, Short: 3, Err: syscall.ENOSPC})
+	f, err := ff.Create(filepath.Join(dir, "torn"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Write: got %v, want ENOSPC", err)
+	}
+	if n != 3 {
+		t.Fatalf("Write reported %d bytes, want 3", n)
+	}
+	f.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "torn"))
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("file holds %q, want the 3-byte torn prefix", data)
+	}
+}
+
+// TestSeededProbDeterministic verifies two FaultFS with the same seed and
+// operation sequence inject at identical points.
+func TestSeededProbDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		ff := NewFaultFS(OS, seed)
+		ff.Arm(Rule{Op: OpWriteFile, Prob: 0.5, Count: -1, Err: syscall.EIO})
+		out := make([]bool, 40)
+		for i := range out {
+			err := ff.WriteFile(filepath.Join(dir, "p"), []byte("x"), 0o644)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical injection patterns (suspicious)")
+	}
+}
+
+// TestFullPathGlob verifies a glob containing a separator matches the
+// whole path, not just the base name.
+func TestFullPathGlob(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWriteFile, Path: "journal/*", Count: -1, Err: syscall.EIO})
+	if err := ff.WriteFile(filepath.Join(dir, "wal.log"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("outside-journal write should pass: %v", err)
+	}
+	if err := ff.WriteFile(filepath.Join(sub, "wal.log"), []byte("x"), 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("journal write: got %v, want EIO", err)
+	}
+}

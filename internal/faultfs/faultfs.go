@@ -1,0 +1,108 @@
+// Package faultfs is the filesystem seam under internal/store: a narrow
+// FS interface covering every operation the durable layer performs, a
+// passthrough OS implementation, a deterministic fault injector (FaultFS)
+// that can fail the N-th matching operation with EIO/ENOSPC or tear a
+// write short, and a retry wrapper (RetryFS) that absorbs transient
+// errors (EINTR/EAGAIN) with capped exponential backoff and jitter.
+//
+// The store takes an FS through store.Options.FS; production wires the
+// passthrough (usually wrapped in WithRetry), tests wire a FaultFS armed
+// with rules and assert against its operation ledger. Because every
+// durable byte flows through the seam, a fault can be injected at any
+// point of the persist path — WAL frame, blob temp file, fsync, rename —
+// without touching the code under test.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the open-file surface the store needs: sequential reads and
+// writes, fsync, truncation for WAL repair, and the name for temp-file
+// rename. *os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Name returns the path the file was opened under.
+	Name() string
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem operations the durable store performs. Every
+// implementation must be safe for concurrent use.
+type FS interface {
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// OpenFile is the generalized open (the WAL uses O_CREATE|O_RDWR).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Create truncates-or-creates a file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a new temp file in dir (pattern as os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a just-renamed entry survives power
+	// loss.
+	SyncDir(dir string) error
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes a whole file (non-atomic; the store's atomic path
+	// goes through CreateTemp/Sync/Rename/SyncDir).
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OS is the passthrough FS over the process's real filesystem.
+var OS FS = osFS{}
+
+// osFS delegates every operation to the os package.
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }

@@ -1,0 +1,250 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// IsTransient classifies an I/O error: EINTR and EAGAIN are interrupts
+// of an otherwise healthy disk and safe to retry; everything else (EIO,
+// ENOSPC, permissions, corruption) is treated as a real storage fault.
+// The server uses the same classification to decide between "retry" and
+// "enter degraded mode".
+func IsTransient(err error) bool {
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+// RetryPolicy tunes a RetryFS: up to Attempts tries per operation with
+// capped exponential backoff between them.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation, first one
+	// included (<= 1: no retries).
+	Attempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it, capped at MaxDelay. Defaults: 1ms base, 100ms cap.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is the wait function (nil: time.Sleep). Tests inject a
+	// recording no-op so retry paths run instantly.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryAttempts is the -store-retries default: the first try plus
+// two retries absorbs the EINTR bursts seen under signal-heavy load
+// without stretching a genuinely broken disk's failure latency.
+const DefaultRetryAttempts = 3
+
+// RetryFS wraps an inner FS and retries transient-classed failures
+// (IsTransient) with capped exponential backoff plus jitter. Permanent
+// errors return immediately. Retries are counted for /stats and
+// /metrics.
+type RetryFS struct {
+	inner   FS
+	policy  RetryPolicy
+	retries atomic.Uint64
+	giveups atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WithRetry wraps inner in a RetryFS. Zero policy fields pick defaults
+// (DefaultRetryAttempts tries, 1ms base, 100ms cap, real sleep).
+func WithRetry(inner FS, p RetryPolicy) *RetryFS {
+	if inner == nil {
+		inner = OS
+	}
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return &RetryFS{inner: inner, policy: p, rng: rand.New(rand.NewSource(1))}
+}
+
+// RetryStats is the wrapper's counter snapshot.
+type RetryStats struct {
+	// Retries counts sleep-then-retry events; GiveUps counts operations
+	// that stayed transiently broken through every attempt.
+	Retries uint64 `json:"retries"`
+	GiveUps uint64 `json:"give_ups"`
+}
+
+// Stats snapshots the retry counters.
+func (r *RetryFS) Stats() RetryStats {
+	return RetryStats{Retries: r.retries.Load(), GiveUps: r.giveups.Load()}
+}
+
+// Retries reports the total sleep-then-retry events (the optional
+// interface internal/store reads for its stats block).
+func (r *RetryFS) Retries() uint64 { return r.retries.Load() }
+
+// backoff returns the jittered wait before retry attempt i (0-based):
+// base*2^i capped at MaxDelay, then uniformly jittered to [d/2, d) so
+// concurrent retriers decorrelate.
+func (r *RetryFS) backoff(i int) time.Duration {
+	d := r.policy.BaseDelay << uint(i)
+	if d <= 0 || d > r.policy.MaxDelay {
+		d = r.policy.MaxDelay
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+// do runs fn up to Attempts times while its error classifies transient.
+func (r *RetryFS) do(fn func() error) error {
+	var err error
+	for i := 0; i < r.policy.Attempts; i++ {
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if i+1 < r.policy.Attempts {
+			r.retries.Add(1)
+			r.policy.Sleep(r.backoff(i))
+		}
+	}
+	r.giveups.Add(1)
+	return err
+}
+
+// retry1 is do for operations returning a value.
+func retry1[T any](r *RetryFS, fn func() (T, error)) (T, error) {
+	var v T
+	err := r.do(func() error {
+		var e error
+		v, e = fn()
+		return e
+	})
+	return v, err
+}
+
+// ---- FS implementation ----
+
+func (r *RetryFS) Open(name string) (File, error) {
+	f, err := retry1(r, func() (File, error) { return r.inner.Open(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{File: f, fs: r}, nil
+}
+
+func (r *RetryFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := retry1(r, func() (File, error) { return r.inner.OpenFile(name, flag, perm) })
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{File: f, fs: r}, nil
+}
+
+func (r *RetryFS) Create(name string) (File, error) {
+	f, err := retry1(r, func() (File, error) { return r.inner.Create(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{File: f, fs: r}, nil
+}
+
+func (r *RetryFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := retry1(r, func() (File, error) { return r.inner.CreateTemp(dir, pattern) })
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{File: f, fs: r}, nil
+}
+
+func (r *RetryFS) MkdirAll(path string, perm fs.FileMode) error {
+	return r.do(func() error { return r.inner.MkdirAll(path, perm) })
+}
+
+func (r *RetryFS) Rename(oldpath, newpath string) error {
+	return r.do(func() error { return r.inner.Rename(oldpath, newpath) })
+}
+
+func (r *RetryFS) Remove(name string) error {
+	return r.do(func() error { return r.inner.Remove(name) })
+}
+
+func (r *RetryFS) SyncDir(dir string) error {
+	return r.do(func() error { return r.inner.SyncDir(dir) })
+}
+
+func (r *RetryFS) ReadFile(name string) ([]byte, error) {
+	return retry1(r, func() ([]byte, error) { return r.inner.ReadFile(name) })
+}
+
+func (r *RetryFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return r.do(func() error { return r.inner.WriteFile(name, data, perm) })
+}
+
+func (r *RetryFS) Stat(name string) (fs.FileInfo, error) {
+	return retry1(r, func() (fs.FileInfo, error) { return r.inner.Stat(name) })
+}
+
+func (r *RetryFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return retry1(r, func() ([]fs.DirEntry, error) { return r.inner.ReadDir(name) })
+}
+
+// retryFile retries per-handle operations. A partially applied write is
+// resumed, not repeated: only the unwritten suffix is retried, so a
+// transient interrupt mid-write cannot duplicate bytes in an
+// append-only log.
+type retryFile struct {
+	File
+	fs *RetryFS
+}
+
+func (f *retryFile) Write(p []byte) (int, error) {
+	total := 0
+	err := f.fs.do(func() error {
+		n, e := f.File.Write(p[total:])
+		total += n
+		if e == nil && total < len(p) {
+			// A short write with no error is already a contract breach;
+			// surface it rather than spinning.
+			return fs.ErrInvalid
+		}
+		return e
+	})
+	return total, err
+}
+
+func (f *retryFile) Read(p []byte) (int, error) {
+	// Reads are not resumed across retries — callers use io.ReadFull-style
+	// loops already; only the immediate transient error is retried when no
+	// bytes were consumed.
+	var n int
+	err := f.fs.do(func() error {
+		var e error
+		n, e = f.File.Read(p)
+		if n > 0 {
+			return nil
+		}
+		return e
+	})
+	if n > 0 {
+		return n, nil
+	}
+	return n, err
+}
+
+func (f *retryFile) Sync() error {
+	return f.fs.do(func() error { return f.File.Sync() })
+}
+
+func (f *retryFile) Truncate(size int64) error {
+	return f.fs.do(func() error { return f.File.Truncate(size) })
+}

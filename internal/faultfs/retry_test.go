@@ -1,0 +1,123 @@
+package faultfs
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRetryAbsorbsTransient verifies EINTR-classed faults are retried to
+// success without any real sleeping, and that the retry counter records
+// each sleep-then-retry event.
+func TestRetryAbsorbsTransient(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWriteFile, Count: 2, Err: syscall.EINTR}) // first 2 tries fail
+	var slept []time.Duration
+	rf := WithRetry(ff, RetryPolicy{
+		Attempts:  4,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  8 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	})
+	p := filepath.Join(dir, "x")
+	if err := rf.WriteFile(p, []byte("ok"), 0o644); err != nil {
+		t.Fatalf("WriteFile should succeed on the third try: %v", err)
+	}
+	if got := rf.Stats(); got.Retries != 2 || got.GiveUps != 0 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 give-ups", got)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Exponential shape with jitter: each wait sits in [base*2^i/2, base*2^i).
+	for i, d := range slept {
+		lo := (time.Millisecond << uint(i)) / 2
+		hi := time.Millisecond << uint(i)
+		if d < lo || d > hi {
+			t.Fatalf("backoff %d = %v, want in [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestRetryGivesUpTransient verifies an op that stays transiently broken
+// through every attempt returns the error and counts a give-up.
+func TestRetryGivesUpTransient(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWriteFile, Count: -1, Err: syscall.EAGAIN})
+	rf := WithRetry(ff, RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}})
+	err := rf.WriteFile(filepath.Join(dir, "x"), []byte("x"), 0o644)
+	if !errors.Is(err, syscall.EAGAIN) {
+		t.Fatalf("got %v, want EAGAIN", err)
+	}
+	if got := rf.Stats(); got.Retries != 2 || got.GiveUps != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 1 give-up", got)
+	}
+}
+
+// TestNoRetryOnPermanent verifies EIO/ENOSPC return immediately — a
+// broken disk must fail fast into degraded handling, not stall behind
+// backoff.
+func TestNoRetryOnPermanent(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWriteFile, Count: -1, Err: syscall.ENOSPC})
+	slept := 0
+	rf := WithRetry(ff, RetryPolicy{Attempts: 5, Sleep: func(time.Duration) { slept++ }})
+	if err := rf.WriteFile(filepath.Join(dir, "x"), []byte("x"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+	if slept != 0 {
+		t.Fatalf("slept %d times on a permanent error, want 0", slept)
+	}
+	if got := rf.Stats(); got.Retries != 0 {
+		t.Fatalf("stats = %+v, want 0 retries", got)
+	}
+}
+
+// TestRetryWriteResumes verifies a torn transient write is resumed from
+// the torn offset, never repeated from the start — retrying a WAL frame
+// append must not duplicate its prefix.
+func TestRetryWriteResumes(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS, 1)
+	ff.Arm(Rule{Op: OpWrite, Short: 3, Err: syscall.EINTR}) // tear the first write at 3 bytes
+	rf := WithRetry(ff, RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}})
+	f, err := rf.Create(filepath.Join(dir, "log"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if err != nil || n != 6 {
+		t.Fatalf("Write = (%d, %v), want (6, nil)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(filepath.Join(dir, "log"))
+	if err != nil || string(data) != "abcdef" {
+		t.Fatalf("file holds %q, want %q (no duplicated prefix)", data, "abcdef")
+	}
+}
+
+// TestClassify pins the transient classification.
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.EIO, false},
+		{syscall.ENOSPC, false},
+		{errors.New("opaque"), false},
+		{nil, false},
+	} {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Fatalf("IsTransient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

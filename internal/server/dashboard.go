@@ -140,6 +140,7 @@ func (s *Server) handleDashboardData(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.st != nil {
 		out["store"] = s.st.Stats()
+		out["degraded"] = s.degraded.view()
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -256,6 +256,10 @@ type jobStore struct {
 	// shutdown-driven cancellations are left un-finalized in the journal
 	// so the next boot re-queues them (see job.finish).
 	shuttingDown func() bool
+	// onJournalError, when set, receives every failed journal append so
+	// the server can classify it and latch degraded mode on a permanent
+	// storage fault.
+	onJournalError func(error)
 }
 
 // log returns the store's structured logger (the process default when
@@ -319,6 +323,9 @@ func (s *jobStore) journal(fn func(*store.Journal) error) {
 	}
 	if err := fn(s.jl); err != nil {
 		s.log().Error("journal append failed", "err", err)
+		if s.onJournalError != nil {
+			s.onJournalError(err)
+		}
 	}
 }
 

@@ -170,6 +170,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.sample("", nil, float64(ss.Journal.WALRecords))
 		p.start("secreta_store_wal_bytes", "gauge", "WAL bytes on disk since the last snapshot.")
 		p.sample("", nil, float64(ss.Journal.WALBytes))
+		p.start("secreta_store_trim_errors_total", "counter", "Failed deletions/listings across trim and GC passes.")
+		p.sample("", nil, float64(ss.TrimErrors))
+		p.start("secreta_store_io_retries_total", "counter", "Transient I/O errors absorbed by the store's retry layer.")
+		p.sample("", nil, float64(ss.IORetries))
+
+		d := s.degraded.view()
+		p.start("secreta_degraded", "gauge", "1 while the server is in degraded read-only mode after a permanent storage fault.")
+		degraded := 0.0
+		if d.Active {
+			degraded = 1
+		}
+		p.sample("", nil, degraded)
+		p.start("secreta_degraded_entered_total", "counter", "Healthy-to-degraded transitions since boot.")
+		p.sample("", nil, float64(d.Entered))
+		p.start("secreta_degraded_probes_total", "counter", "Storage recovery probes run while degraded.")
+		p.sample("", nil, float64(d.Probes))
 	}
 
 	p.start("secreta_ready", "gauge", "1 once journal replay has completed and traffic is admitted.")

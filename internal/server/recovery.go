@@ -48,6 +48,9 @@ type recoveryInfo struct {
 	RestoredJobs   int `json:"restored_jobs"`
 	RequeuedJobs   int `json:"requeued_jobs"`
 	FailedRequeues int `json:"failed_requeues"`
+	// OrphansSwept counts the ".tmp-*" files store.Open removed — the
+	// debris of atomic writes interrupted by the previous crash.
+	OrphansSwept int `json:"orphans_swept"`
 }
 
 // loadResult rehydrates a terminal job's result from disk: a chunked
@@ -123,6 +126,7 @@ func (s *Server) recover() {
 		go s.runJob(ctx, cancel, j, p)
 	}
 	info.DurationSec = time.Since(start).Seconds()
+	info.OrphansSwept = s.st.OrphansSwept()
 	info.Done = true
 	s.recMu.Lock()
 	s.recovery = info

@@ -89,6 +89,10 @@ type Options struct {
 	// comment). The caller owns the store's lifecycle and must Close it
 	// after the server's context is cancelled and jobs have drained.
 	Store *store.Store
+	// DegradedProbeInterval is the cadence of the storage-recovery probe
+	// while the server is in degraded read-only mode (<= 0:
+	// DefaultDegradedProbeInterval). See degraded.go.
+	DegradedProbeInterval time.Duration
 	// Logger receives the server's structured logs (nil: slog.Default()).
 	Logger *slog.Logger
 }
@@ -124,6 +128,9 @@ type Server struct {
 	ready    atomic.Bool
 	recMu    sync.Mutex
 	recovery recoveryInfo
+	// degraded latches the server read-only after a permanent storage
+	// fault on a durable write; see degraded.go.
+	degraded degradedState
 	// streams counts NDJSON result deliveries: in-flight, completed, and
 	// cut short by a client disconnect. Surfaced on GET /stats so an
 	// operator can see streaming health at a glance.
@@ -228,7 +235,11 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	} else {
 		s.jobs.attachStore(s.st.Journal, s.st.Results, s.st.ResultChunks, s.st.Traces)
 		s.jobs.shuttingDown = func() bool { return ctx.Err() != nil }
+		// A failed journal append is a durable-write fault like any other:
+		// classify it and, when permanent, latch degraded mode.
+		s.jobs.onJournalError = func(err error) { s.storeFault("journal append", err) }
 		go s.recover()
+		go s.probeLoop()
 	}
 	return s, nil
 }
@@ -244,7 +255,9 @@ func (s *Server) log() *slog.Logger {
 
 // Handler returns the routed HTTP handler, wrapped in the readiness
 // gate: while journal replay runs, only /healthz is served — admitting a
-// job before its predecessors are re-queued would reorder history.
+// job before its predecessors are re-queued would reorder history. A
+// second gate holds POST routes while the server is in degraded
+// read-only mode (see degraded.go); reads keep flowing.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() && r.URL.Path != "/healthz" {
@@ -253,6 +266,9 @@ func (s *Server) Handler() http.Handler {
 				"error": "server is replaying its journal; retry shortly",
 				"ready": false,
 			})
+			return
+		}
+		if s.gateWrite(w, r) {
 			return
 		}
 		s.mux.ServeHTTP(w, r)
@@ -1081,9 +1097,16 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth is the one endpoint that bypasses the readiness gate:
 // ready=false tells orchestrators the process is alive but still
-// replaying its journal.
+// replaying its journal. While the server is in degraded read-only mode
+// the payload carries the triggering error, so "why are my POSTs 503"
+// is answerable from the health check alone.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": s.ready.Load()})
+	out := map[string]any{"status": "ok", "ready": s.ready.Load()}
+	if d := s.degraded.view(); d.Active {
+		out["status"] = "degraded"
+		out["degraded"] = d
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -1100,6 +1123,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.st != nil {
 		out["store"] = s.st.Stats()
+		out["degraded"] = s.degraded.view()
 		s.recMu.Lock()
 		out["recovery"] = s.recovery
 		s.recMu.Unlock()
@@ -1197,8 +1221,11 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 			if s.st != nil {
 				if werr := s.st.Results.Put(j.id, outcome.payload); werr != nil {
 					// The job still answers from memory; only post-restart
-					// retrieval is lost.
+					// retrieval is lost. A permanent error additionally
+					// latches degraded mode — the next write would fail too.
 					s.log().Warn("persisting result failed", "job_id", j.id, "err", werr)
+					persistSpan.Event("fault: result blob: " + werr.Error())
+					s.storeFault("result blob persist", werr)
 				} else {
 					hasResult = true
 				}
@@ -1208,6 +1235,8 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 			if s.st != nil {
 				if werr := s.writeChunkedResult(j.id, outcome.meta, outcome.records); werr != nil {
 					s.log().Warn("persisting result stream failed", "job_id", j.id, "err", werr)
+					persistSpan.Event("fault: result stream: " + werr.Error())
+					s.storeFault("result stream persist", werr)
 				} else {
 					hasResult = true
 				}

@@ -4,10 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"secreta/internal/faultfs"
 )
 
 // ErrNoBlob is returned by BlobDir.Get when no blob with the given name
@@ -21,17 +22,25 @@ var ErrNoBlob = errors.New("store: no such blob")
 // always see either the old or the new content of a blob, never a torn
 // write.
 type BlobDir struct {
-	dir string
-	ext string
+	fsys faultfs.FS
+	diag *diag
+	dir  string
+	ext  string
 }
 
 // NewBlobDir creates dir if needed and returns a BlobDir whose files all
 // carry ext (e.g. ".json").
 func NewBlobDir(dir, ext string) (*BlobDir, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return newBlobDir(faultfs.OS, newDiag(nil), dir, ext)
+}
+
+// newBlobDir is NewBlobDir over an explicit filesystem seam and shared
+// diagnostics — the constructor Store.Open wires.
+func newBlobDir(fsys faultfs.FS, d *diag, dir, ext string) (*BlobDir, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating blob dir: %w", err)
 	}
-	return &BlobDir{dir: dir, ext: ext}, nil
+	return &BlobDir{fsys: fsys, diag: d, dir: dir, ext: ext}, nil
 }
 
 // Dir returns the directory path.
@@ -50,7 +59,7 @@ func (b *BlobDir) Put(name string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(p, data)
+	return writeFileAtomic(b.fsys, p, data)
 }
 
 // Get reads the blob under name; a missing blob answers ErrNoBlob.
@@ -59,7 +68,7 @@ func (b *BlobDir) Get(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(p)
+	data, err := b.fsys.ReadFile(p)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %q", ErrNoBlob, name)
 	}
@@ -72,7 +81,7 @@ func (b *BlobDir) Has(name string) bool {
 	if err != nil {
 		return false
 	}
-	_, err = os.Stat(p)
+	_, err = b.fsys.Stat(p)
 	return err == nil
 }
 
@@ -83,7 +92,7 @@ func (b *BlobDir) Delete(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := b.fsys.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
 	return nil
@@ -91,7 +100,7 @@ func (b *BlobDir) Delete(name string) error {
 
 // Names lists the resident blob names, sorted.
 func (b *BlobDir) Names() ([]string, error) {
-	entries, err := os.ReadDir(b.dir)
+	entries, err := b.fsys.ReadDir(b.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +123,7 @@ func (b *BlobDir) Names() ([]string, error) {
 // entries are skipped — stats are advisory, not transactional.
 func (b *BlobDir) Stats() BlobStats {
 	var s BlobStats
-	entries, err := os.ReadDir(b.dir)
+	entries, err := b.fsys.ReadDir(b.dir)
 	if err != nil {
 		return s
 	}
@@ -135,13 +144,17 @@ func (b *BlobDir) Stats() BlobStats {
 // Trim deletes the oldest blobs (by modification time) until the
 // directory fits maxEntries entries and maxBytes total size; a cap <= 0
 // is unbounded. It reports how many blobs were removed. Trim is
-// best-effort — concurrent writers may briefly overshoot the caps.
+// best-effort — concurrent writers may briefly overshoot the caps, and a
+// blob that fails to delete is counted (trim_errors on /stats), logged at
+// WARN, and skipped rather than aborting the pass: one undeletable file
+// must not shield every younger entry from the caps.
 func (b *BlobDir) Trim(maxEntries int, maxBytes int64) (removed int, err error) {
 	if maxEntries <= 0 && maxBytes <= 0 {
 		return 0, nil
 	}
-	entries, err := os.ReadDir(b.dir)
+	entries, err := b.fsys.ReadDir(b.dir)
 	if err != nil {
+		b.diag.trimError(b.dir, err)
 		return 0, err
 	}
 	type blobFile struct {
@@ -163,16 +176,19 @@ func (b *BlobDir) Trim(maxEntries int, maxBytes int64) (removed int, err error) 
 		total += info.Size()
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	kept := len(files)
 	for _, f := range files {
-		over := (maxEntries > 0 && len(files)-removed > maxEntries) ||
+		over := (maxEntries > 0 && kept > maxEntries) ||
 			(maxBytes > 0 && total > maxBytes)
 		if !over {
 			break
 		}
-		if err := os.Remove(f.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
-			return removed, err
+		if err := b.fsys.Remove(f.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			b.diag.trimError(b.dir, err)
+			continue
 		}
 		removed++
+		kept--
 		total -= f.size
 	}
 	return removed, nil

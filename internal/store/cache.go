@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"sync"
+
+	"secreta/internal/faultfs"
 )
 
 // CacheStore spills engine result-cache entries to disk so cached
@@ -32,7 +34,13 @@ const trimEvery = 64
 // NewCacheStore creates dir if needed; caps <= 0 pick the package
 // defaults.
 func NewCacheStore(dir string, maxEntries int, maxBytes int64) (*CacheStore, error) {
-	blobs, err := NewBlobDir(dir, ".json")
+	return newCacheStore(faultfs.OS, newDiag(nil), dir, maxEntries, maxBytes)
+}
+
+// newCacheStore is NewCacheStore over an explicit filesystem seam and
+// shared diagnostics — the constructor Store.Open wires.
+func newCacheStore(fsys faultfs.FS, d *diag, dir string, maxEntries int, maxBytes int64) (*CacheStore, error) {
+	blobs, err := newBlobDir(fsys, d, dir, ".json")
 	if err != nil {
 		return nil, err
 	}
@@ -68,9 +76,11 @@ func (c *CacheStore) SaveResult(key string, data []byte) error {
 		return nil
 	}
 	// Best-effort: a failed trim only delays the bound, the entry itself
-	// is durable.
-	_, err := c.blobs.Trim(c.maxEntries, c.maxBytes)
-	return err
+	// is durable. Trim counts and logs its own failures (trim_errors on
+	// /stats), so they must not masquerade as a failed save — the engine
+	// would misclassify the write as a disk error.
+	_, _ = c.blobs.Trim(c.maxEntries, c.maxBytes)
+	return nil
 }
 
 // LoadResult reads one serialized cache entry; (nil, nil) when absent.

@@ -8,9 +8,10 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"strings"
+
+	"secreta/internal/faultfs"
 )
 
 // Chunked result blobs: the framed on-disk format streaming result
@@ -43,17 +44,23 @@ const maxChunkFrame = 16 << 20
 // ChunkedDir stores framed chunk files in one directory, parallel to a
 // BlobDir (same naming rules, its own extension).
 type ChunkedDir struct {
-	dir string
-	ext string
+	fsys faultfs.FS
+	dir  string
+	ext  string
 }
 
 // NewChunkedDir creates dir if needed and returns a ChunkedDir whose
 // files all carry ext (e.g. ".ndr").
 func NewChunkedDir(dir, ext string) (*ChunkedDir, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return newChunkedDir(faultfs.OS, dir, ext)
+}
+
+// newChunkedDir is NewChunkedDir over an explicit filesystem seam.
+func newChunkedDir(fsys faultfs.FS, dir, ext string) (*ChunkedDir, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating chunk dir: %w", err)
 	}
-	return &ChunkedDir{dir: dir, ext: ext}, nil
+	return &ChunkedDir{fsys: fsys, dir: dir, ext: ext}, nil
 }
 
 func (c *ChunkedDir) path(name string) (string, error) {
@@ -71,11 +78,12 @@ func (c *ChunkedDir) Create(name string) (*ChunkWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	tmp, err := c.fsys.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
 		return nil, err
 	}
 	return &ChunkWriter{
+		fsys: c.fsys,
 		f:    tmp,
 		bw:   bufio.NewWriterSize(tmp, 256<<10),
 		dir:  c.dir,
@@ -85,7 +93,8 @@ func (c *ChunkedDir) Create(name string) (*ChunkWriter, error) {
 
 // ChunkWriter appends frames to a pending chunk file.
 type ChunkWriter struct {
-	f    *os.File
+	fsys faultfs.FS
+	f    faultfs.File
 	bw   *bufio.Writer
 	dir  string
 	dest string
@@ -122,7 +131,7 @@ func (w *ChunkWriter) Commit() error {
 	tmpName := w.f.Name()
 	fail := func(err error) error {
 		w.f.Close()
-		os.Remove(tmpName)
+		w.fsys.Remove(tmpName)
 		return err
 	}
 	if err := w.bw.Flush(); err != nil {
@@ -132,14 +141,14 @@ func (w *ChunkWriter) Commit() error {
 		return fail(err)
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(tmpName)
+		w.fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, w.dest); err != nil {
-		os.Remove(tmpName)
+	if err := w.fsys.Rename(tmpName, w.dest); err != nil {
+		w.fsys.Remove(tmpName)
 		return err
 	}
-	return syncDir(w.dir)
+	return w.fsys.SyncDir(w.dir)
 }
 
 // Abort discards the pending file. Safe to call after Commit (no-op).
@@ -150,7 +159,7 @@ func (w *ChunkWriter) Abort() {
 	w.done = true
 	name := w.f.Name()
 	w.f.Close()
-	os.Remove(name)
+	w.fsys.Remove(name)
 }
 
 // Open positions a reader at the named file's first frame; a missing file
@@ -161,7 +170,7 @@ func (c *ChunkedDir) Open(name string) (*ChunkReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(p)
+	f, err := c.fsys.Open(p)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %q", ErrNoBlob, name)
 	}
@@ -229,7 +238,7 @@ func (c *ChunkedDir) Has(name string) bool {
 	if err != nil {
 		return false
 	}
-	_, err = os.Stat(p)
+	_, err = c.fsys.Stat(p)
 	return err == nil
 }
 
@@ -239,7 +248,7 @@ func (c *ChunkedDir) Delete(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := c.fsys.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
 	return nil
@@ -248,7 +257,7 @@ func (c *ChunkedDir) Delete(name string) error {
 // Stats sums chunk file count and bytes (advisory, like BlobDir.Stats).
 func (c *ChunkedDir) Stats() BlobStats {
 	var s BlobStats
-	entries, err := os.ReadDir(c.dir)
+	entries, err := c.fsys.ReadDir(c.dir)
 	if err != nil {
 		return s
 	}

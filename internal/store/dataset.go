@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"secreta/internal/dataset"
+	"secreta/internal/faultfs"
 )
 
 // DatasetMeta is the cheap-to-read description of one stored dataset,
@@ -32,11 +33,17 @@ type DatasetStore struct {
 
 // NewDatasetStore creates dir if needed.
 func NewDatasetStore(dir string) (*DatasetStore, error) {
-	blobs, err := NewBlobDir(dir, ".json")
+	return newDatasetStore(faultfs.OS, newDiag(nil), dir)
+}
+
+// newDatasetStore is NewDatasetStore over an explicit filesystem seam and
+// shared diagnostics — the constructor Store.Open wires.
+func newDatasetStore(fsys faultfs.FS, d *diag, dir string) (*DatasetStore, error) {
+	blobs, err := newBlobDir(fsys, d, dir, ".json")
 	if err != nil {
 		return nil, err
 	}
-	metas, err := NewBlobDir(dir, ".meta")
+	metas, err := newBlobDir(fsys, d, dir, ".meta")
 	if err != nil {
 		return nil, err
 	}

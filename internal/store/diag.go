@@ -1,0 +1,31 @@
+package store
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// diag is the store-wide fault accounting the sub-stores share: a logger
+// for WARN-level I/O diagnostics and counters surfaced on GET /stats.
+// Standalone sub-store constructors get a private diag; Store.Open hands
+// one instance to every sub-store so the counters aggregate across the
+// whole data directory.
+type diag struct {
+	logger     *slog.Logger
+	trimErrors atomic.Uint64
+}
+
+func newDiag(logger *slog.Logger) *diag {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &diag{logger: logger}
+}
+
+// trimError counts one failed removal or listing during a trim/GC pass
+// and logs it at WARN. Trim failures used to be silently swallowed on the
+// best-effort paths, which hid a disk that could no longer delete.
+func (d *diag) trimError(dir string, err error) {
+	d.trimErrors.Add(1)
+	d.logger.Warn("store: trim error", "dir", dir, "error", err)
+}

@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"secreta/internal/faultfs"
 )
 
 // DumpJournal pretty-prints a journal — snapshot, then every WAL record,
@@ -22,7 +24,7 @@ func DumpJournal(w io.Writer, dir string) error {
 		journalDir = filepath.Join(dir, "journal")
 	}
 	snapPath := filepath.Join(journalDir, snapshotFileName)
-	snap, err := readSnapshotFile(snapPath)
+	snap, err := readSnapshotFile(faultfs.OS, snapPath)
 	if err != nil {
 		return err
 	}

@@ -1,52 +1,76 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"secreta/internal/faultfs"
 )
 
 // writeFileAtomic durably writes data to path: an fsync'd temp file in
 // the same directory, renamed over the target, then the directory entry
 // fsync'd. A crash at any point leaves either the old file or the new
-// one, never a torn mix.
-func writeFileAtomic(path string, data []byte) error {
+// one, never a torn mix. Every byte flows through fsys, so tests can
+// inject a fault at any step.
+func writeFileAtomic(fsys faultfs.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
-// syncDir fsyncs a directory so a just-renamed entry survives power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// sweepTempFiles removes orphaned ".tmp-*" files from dir — the debris a
+// crash between CreateTemp and Rename leaves behind. It reports how many
+// were removed; listing or removal failures are logged and skipped, never
+// fatal (an orphan costs disk space, not correctness).
+func sweepTempFiles(fsys faultfs.FS, logger *slog.Logger, dir string) int {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return err
+		// A directory that does not exist yet (first boot) has no orphans.
+		if !errors.Is(err, fs.ErrNotExist) {
+			logger.Warn("store: orphan sweep: listing", "dir", dir, "error", err)
+		}
+		return 0
 	}
-	defer d.Close()
-	return d.Sync()
+	swept := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		if err := fsys.Remove(p); err != nil {
+			logger.Warn("store: orphan sweep: removing", "path", p, "error", err)
+			continue
+		}
+		swept++
+	}
+	return swept
 }
 
 // validBlobName guards against path traversal and reserved names: blob

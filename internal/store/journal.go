@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"secreta/internal/faultfs"
 )
 
 // JobRecord is the durable state of one job as the journal tracks it. The
@@ -61,8 +63,9 @@ const StatusRunning = "running"
 // snapshot+WAL, repairing a torn tail. Safe for concurrent use.
 type Journal struct {
 	mu            sync.Mutex
+	fsys          faultfs.FS
 	dir           string
-	f             *os.File
+	f             faultfs.File
 	closed        bool
 	table         map[string]*JobRecord
 	seq           int
@@ -103,19 +106,26 @@ const (
 // and reopens the WAL for appending. snapshotEvery <= 0 picks
 // DefaultSnapshotEvery.
 func OpenJournal(dir string, snapshotEvery int) (*Journal, error) {
+	return openJournal(faultfs.OS, dir, snapshotEvery)
+}
+
+// openJournal is OpenJournal over an explicit filesystem seam — the
+// constructor Store.Open wires.
+func openJournal(fsys faultfs.FS, dir string, snapshotEvery int) (*Journal, error) {
 	if snapshotEvery <= 0 {
 		snapshotEvery = DefaultSnapshotEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating journal dir: %w", err)
 	}
 	j := &Journal{
+		fsys:          fsys,
 		dir:           dir,
 		table:         make(map[string]*JobRecord),
 		snapshotEvery: snapshotEvery,
 		lastSnapshot:  time.Now(),
 	}
-	snap, err := readSnapshotFile(filepath.Join(dir, snapshotFileName))
+	snap, err := readSnapshotFile(fsys, filepath.Join(dir, snapshotFileName))
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +139,7 @@ func OpenJournal(dir string, snapshotEvery int) (*Journal, error) {
 		}
 	}
 	walPath := filepath.Join(dir, walFileName)
-	data, err := os.ReadFile(walPath)
+	data, err := fsys.ReadFile(walPath)
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("store: reading WAL: %w", err)
 	}
@@ -156,7 +166,7 @@ func OpenJournal(dir string, snapshotEvery int) (*Journal, error) {
 	if torn {
 		j.replay.TornBytes = int64(len(data)) - valid
 	}
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening WAL: %w", err)
 	}
@@ -184,8 +194,8 @@ func OpenJournal(dir string, snapshotEvery int) (*Journal, error) {
 	return j, nil
 }
 
-func readSnapshotFile(path string) (*snapshotFile, error) {
-	data, err := os.ReadFile(path)
+func readSnapshotFile(fsys faultfs.FS, path string) (*snapshotFile, error) {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -344,7 +354,7 @@ func (j *Journal) snapshotLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(j.dir, snapshotFileName), data); err != nil {
+	if err := writeFileAtomic(j.fsys, filepath.Join(j.dir, snapshotFileName), data); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	if err := j.f.Truncate(0); err != nil {

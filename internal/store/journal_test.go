@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"secreta/internal/faultfs"
 )
 
 func submitRec(id string, seq int) JobRecord {
@@ -92,7 +94,7 @@ func TestJournalSnapshotTruncatesWAL(t *testing.T) {
 	if st.Jobs != 6 {
 		t.Fatalf("table jobs=%d want 6", st.Jobs)
 	}
-	snap, err := readSnapshotFile(filepath.Join(dir, snapshotFileName))
+	snap, err := readSnapshotFile(faultfs.OS, filepath.Join(dir, snapshotFileName))
 	if err != nil || snap == nil {
 		t.Fatalf("snapshot missing after cadence: %v", err)
 	}

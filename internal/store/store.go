@@ -24,11 +24,14 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
-	"os"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"secreta/internal/faultfs"
 )
 
 // Default disk result-cache bounds, used when the operator does not tune
@@ -54,6 +57,14 @@ type Options struct {
 	// (<= 0: package defaults).
 	CacheMaxEntries int
 	CacheMaxBytes   int64
+	// FS is the filesystem seam every durable byte flows through (nil:
+	// the real filesystem). Production wraps it in faultfs.WithRetry so
+	// transient I/O errors are absorbed; tests wire a faultfs.FaultFS to
+	// inject failures at any point of the persist path.
+	FS faultfs.FS
+	// Logger receives WARN-level I/O diagnostics — trim failures, orphan
+	// sweeps (nil: slog.Default()).
+	Logger *slog.Logger
 }
 
 // Store is one opened data directory. Fields are independent sub-stores;
@@ -79,6 +90,10 @@ type Store struct {
 	// Journal is the WAL-backed job table.
 	Journal *Journal
 
+	fsys         faultfs.FS
+	diag         *diag
+	orphansSwept int
+
 	// Blob stats are directory walks (a stat per file); cache them
 	// briefly so a monitoring poller doesn't rescan an aging data dir
 	// on every probe.
@@ -98,30 +113,43 @@ func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty data directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	d := newDiag(opts.Logger)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
-	datasets, err := NewDatasetStore(filepath.Join(dir, "datasets"))
+	datasets, err := newDatasetStore(fsys, d, filepath.Join(dir, "datasets"))
 	if err != nil {
 		return nil, err
 	}
-	results, err := NewBlobDir(filepath.Join(dir, "results"), ".json")
+	results, err := newBlobDir(fsys, d, filepath.Join(dir, "results"), ".json")
 	if err != nil {
 		return nil, err
 	}
-	chunks, err := NewChunkedDir(filepath.Join(dir, "results"), ".ndr")
+	chunks, err := newChunkedDir(fsys, filepath.Join(dir, "results"), ".ndr")
 	if err != nil {
 		return nil, err
 	}
-	traces, err := NewBlobDir(filepath.Join(dir, "traces"), ".json")
+	traces, err := newBlobDir(fsys, d, filepath.Join(dir, "traces"), ".json")
 	if err != nil {
 		return nil, err
 	}
-	cache, err := NewCacheStore(filepath.Join(dir, "cache"), opts.CacheMaxEntries, opts.CacheMaxBytes)
+	cache, err := newCacheStore(fsys, d, filepath.Join(dir, "cache"), opts.CacheMaxEntries, opts.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
-	journal, err := OpenJournal(filepath.Join(dir, "journal"), opts.SnapshotEvery)
+	// Sweep orphaned temp files from every directory atomic writes land
+	// in, before the journal starts appending — the debris of any crash
+	// mid-writeFileAtomic. The journal dir is swept too (snapshots go
+	// through the same temp-file dance).
+	swept := 0
+	for _, sub := range []string{dir, filepath.Join(dir, "datasets"), filepath.Join(dir, "results"), filepath.Join(dir, "traces"), filepath.Join(dir, "cache"), filepath.Join(dir, "journal")} {
+		swept += sweepTempFiles(fsys, d.logger, sub)
+	}
+	journal, err := openJournal(fsys, filepath.Join(dir, "journal"), opts.SnapshotEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +161,37 @@ func Open(dir string, opts Options) (*Store, error) {
 		Traces:       traces,
 		Cache:        cache,
 		Journal:      journal,
+		fsys:         fsys,
+		diag:         d,
+		orphansSwept: swept,
 	}, nil
+}
+
+// OrphansSwept reports how many orphaned ".tmp-*" files Open removed —
+// surfaced in the recovery block of GET /stats.
+func (s *Store) OrphansSwept() int { return s.orphansSwept }
+
+// ProbeWrite checks whether the data directory can take durable writes
+// again: a full atomic write (temp file, fsync, rename, dir fsync) of a
+// sentinel file, a read-back, and a removal. The degraded-mode probe
+// loop calls this to decide when to re-arm writes after a storage fault.
+func (s *Store) ProbeWrite() error {
+	path := filepath.Join(s.Dir, ".probe")
+	payload := []byte("secreta write probe\n")
+	if err := writeFileAtomic(s.fsys, path, payload); err != nil {
+		return fmt.Errorf("store: probe write: %w", err)
+	}
+	got, err := s.fsys.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: probe read-back: %w", err)
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("store: probe read back %d bytes, want %d", len(got), len(payload))
+	}
+	if err := s.fsys.Remove(path); err != nil {
+		return fmt.Errorf("store: probe cleanup: %w", err)
+	}
+	return nil
 }
 
 // Close snapshots the journal one last time (making the next boot replay
@@ -165,6 +223,13 @@ type Stats struct {
 	ResultCacheMaxCount int          `json:"result_cache_max_count"`
 	ResultCacheMaxBytes int64        `json:"result_cache_max_bytes"`
 	Journal             JournalStats `json:"journal"`
+	// TrimErrors counts failed removals/listings across every trim and GC
+	// pass since boot — a nonzero, growing value means the disk can no
+	// longer delete and the caps are not being enforced.
+	TrimErrors uint64 `json:"trim_errors"`
+	// IORetries counts transient I/O errors absorbed by the retry layer
+	// (zero when the store runs without a faultfs.RetryFS).
+	IORetries uint64 `json:"io_retries"`
 }
 
 // Stats snapshots the journal counters and the blob-directory occupancy
@@ -179,6 +244,10 @@ func (s *Store) Stats() Stats {
 	blobs := s.statsBlobs
 	s.statsMu.Unlock()
 	maxEntries, maxBytes := s.Cache.Caps()
+	var retries uint64
+	if r, ok := s.fsys.(interface{ Retries() uint64 }); ok {
+		retries = r.Retries()
+	}
 	return Stats{
 		Datasets:            blobs[0],
 		Results:             blobs[1],
@@ -188,5 +257,7 @@ func (s *Store) Stats() Stats {
 		ResultCacheMaxCount: maxEntries,
 		ResultCacheMaxBytes: maxBytes,
 		Journal:             s.Journal.Stats(),
+		TrimErrors:          s.diag.trimErrors.Load(),
+		IORetries:           retries,
 	}
 }

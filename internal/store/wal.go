@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
+
+	"secreta/internal/faultfs"
 )
 
 // WAL record framing. Each record is:
@@ -29,7 +30,7 @@ const maxWALRecord = 256 << 20
 // appendWALRecord frames payload and appends it to f, fsyncing before
 // returning so the record is durable when the caller's state transition
 // becomes observable.
-func appendWALRecord(f *os.File, payload []byte) error {
+func appendWALRecord(f faultfs.File, payload []byte) error {
 	if len(payload) > maxWALRecord {
 		return fmt.Errorf("store: WAL record of %d bytes exceeds the %d byte frame limit", len(payload), maxWALRecord)
 	}

@@ -92,3 +92,21 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 echo "docs_freshness: all $(printf '%s\n' "$families" | wc -l | tr -d ' ') metric families documented."
+
+# The fault/degraded-mode observability fields of GET /stats must stay in
+# the runbook's "/stats field reference". These are the fields an operator
+# reaches for during a disk incident, so they are pinned by name rather
+# than trusting the table to keep up.
+stats_fields="trim_errors io_retries degraded orphans_swept disk_transient"
+missing=0
+for field in $stats_fields; do
+    if ! grep -qF "$field" "$ops_doc"; then
+        echo "docs_freshness: /stats field $field is not mentioned in $ops_doc" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "docs_freshness: update $ops_doc (/stats field reference) to cover the fault-observability fields." >&2
+    exit 1
+fi
+echo "docs_freshness: all fault-observability /stats fields documented."
