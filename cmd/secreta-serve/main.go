@@ -12,6 +12,16 @@
 // were in flight when the process died are re-queued. Without it,
 // everything is in memory and a restart starts from scratch.
 //
+// With -tenants-file set, the server is multi-tenant: every data route
+// requires one of the configured API keys (Authorization: Bearer or
+// X-API-Key), datasets and jobs are scoped to their owning tenant,
+// per-tenant rate limits and quotas gate admission, and job slots are
+// shared by weighted round-robin so no tenant can starve another. With
+// -data-max-bytes set (and -data-dir), a background sweeper keeps the
+// data directory under the cap, evicting the disk cache, the oldest
+// terminal results, and unreferenced dataset blobs — never in-flight
+// state. See docs/OPERATIONS.md ("Multi-tenancy & retention").
+//
 // Logs are structured (log/slog): -log-format picks text (default) or
 // json. With -debug-addr set, a second listener serves net/http/pprof
 // profiles — bind it to localhost only; it must never be exposed
@@ -74,6 +84,9 @@ func main() {
 	diskCacheBytes := flag.Int64("disk-cache-bytes", 0, "disk result cache byte cap (0: default 2 GiB); needs -data-dir")
 	storeRetries := flag.Int("store-retries", 0, "store I/O attempts on transient errors, first try included (0: default 3, 1: no retries); needs -data-dir")
 	degradedProbe := flag.Duration("degraded-probe-interval", 0, "how often a degraded server probes storage to re-arm writes (0: default 5s); needs -data-dir")
+	tenantsFile := flag.String("tenants-file", "", "JSON tenant table (API keys, quotas, rates, weights); empty runs single-tenant with no auth")
+	dataMaxBytes := flag.Int64("data-max-bytes", 0, "data directory byte cap enforced by the retention sweeper (0: no GC); needs -data-dir")
+	gcInterval := flag.Duration("gc-interval", 0, "retention sweep cadence (0: default 30s); needs -data-max-bytes")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof profiling; keep it on localhost, never public (empty: disabled)")
 	flag.Parse()
@@ -101,6 +114,14 @@ func main() {
 		}
 		logger.Warn("pprof debug listener enabled — do not expose publicly", "addr", debugLn.Addr().String())
 	}
+	tenants, err := server.LoadTenantsFile(*tenantsFile)
+	if err != nil {
+		logger.Error("loading tenants file failed", "err", err)
+		os.Exit(2)
+	}
+	if len(tenants) > 0 {
+		logger.Info("multi-tenant mode enabled", "tenants", len(tenants), "file", *tenantsFile)
+	}
 	logger.Info("secreta-serve listening",
 		"addr", ln.Addr().String(), "workers", *workers, "data_dir", *dataDir)
 	opts := server.Options{
@@ -114,6 +135,9 @@ func main() {
 		RegistryMaxBytes:      *registryBytes,
 		JobTimeout:            *jobTimeout,
 		DegradedProbeInterval: *degradedProbe,
+		Tenants:               tenants,
+		DataMaxBytes:          *dataMaxBytes,
+		GCInterval:            *gcInterval,
 		Logger:                logger,
 	}
 	stOpts := store.Options{

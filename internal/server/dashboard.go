@@ -142,6 +142,12 @@ func (s *Server) handleDashboardData(w http.ResponseWriter, _ *http.Request) {
 		out["store"] = s.st.Stats()
 		out["degraded"] = s.degraded.view()
 	}
+	if s.tenants != nil {
+		out["tenants"] = s.tenants.views(s.jobs.countsByTenant())
+	}
+	if s.gc != nil {
+		out["gc"] = s.gc.view()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

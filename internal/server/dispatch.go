@@ -1,0 +1,298 @@
+package server
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Tenant-fair job admission. Single-tenant servers admit jobs straight
+// off the shared slot semaphore (FIFO-ish, racing goroutines). With
+// tenants configured, a saturating tenant would win that race almost
+// every time, so admission instead goes through a dispatcher: each
+// tenant gets its own FIFO queue, and a single dispatch loop hands the
+// shared slots out by smooth weighted round-robin across the non-empty
+// queues. One tenant's backlog then costs other tenants at most its
+// weight share — the property the starvation e2e pins.
+
+// wrrEntry is one tenant's smooth-WRR accumulator. current is touched
+// only by the dispatch loop, so fairness bookkeeping is contention-free.
+type wrrEntry struct {
+	id      string
+	weight  int
+	current int
+}
+
+// wrrPicker implements smooth weighted round-robin (the nginx variant):
+// each pick, every eligible entry gains its weight, the largest
+// accumulator wins and pays back the total eligible weight. Over any
+// window where a set of entries stays continuously eligible, each is
+// picked in proportion to its weight, within one slot per rotation, and
+// no eligible entry is skipped forever.
+type wrrPicker struct {
+	entries []*wrrEntry
+	byID    map[string]*wrrEntry
+}
+
+// newWRRPicker builds a picker over the given weights (weights < 1 are
+// lifted to 1). Entries iterate in sorted id order so ties are broken
+// deterministically toward the smaller id.
+func newWRRPicker(weights map[string]int) *wrrPicker {
+	p := &wrrPicker{byID: make(map[string]*wrrEntry, len(weights))}
+	ids := make([]string, 0, len(weights))
+	for id := range weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p.add(id, weights[id])
+	}
+	return p
+}
+
+// add registers a new entry, keeping the sorted iteration order. Known
+// ids are left untouched.
+func (p *wrrPicker) add(id string, weight int) {
+	if _, ok := p.byID[id]; ok {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	e := &wrrEntry{id: id, weight: weight}
+	p.byID[id] = e
+	i := sort.Search(len(p.entries), func(i int) bool { return p.entries[i].id >= id })
+	p.entries = append(p.entries, nil)
+	copy(p.entries[i+1:], p.entries[i:])
+	p.entries[i] = e
+}
+
+// pick selects the next tenant among those eligible (queue non-empty and
+// under any per-tenant cap), or "" when none is. Strict > with sorted
+// iteration breaks accumulator ties toward the smaller id.
+func (p *wrrPicker) pick(eligible func(id string) bool) string {
+	total := 0
+	var best *wrrEntry
+	for _, e := range p.entries {
+		if !eligible(e.id) {
+			continue
+		}
+		total += e.weight
+		e.current += e.weight
+		if best == nil || e.current > best.current {
+			best = e
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	best.current -= total
+	return best.id
+}
+
+// waiter is one queued job waiting for a slot grant.
+type waiter struct {
+	tenant string
+	// grant is buffered so the dispatch loop never blocks on a waiter
+	// that is concurrently abandoning.
+	grant   chan struct{}
+	granted bool // guarded by dispatcher.mu
+}
+
+// dispatcher owns the per-tenant queues and the dispatch loop. It wraps
+// the server's slot semaphore: the loop claims a slot, picks a tenant by
+// WRR, and grants the head of that tenant's queue; the job releases the
+// slot (and its tenant's running count) when it finishes.
+type dispatcher struct {
+	slots   chan struct{}
+	tenants *tenantSet
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	picker  *wrrPicker
+	queues  map[string][]*waiter
+	running map[string]int
+	stopped bool
+}
+
+// newDispatcher builds the dispatcher over the server's slot semaphore
+// and starts its loop; stop it by cancelling ctx.
+func newDispatcher(ctx context.Context, slots chan struct{}, tenants *tenantSet) *dispatcher {
+	weights := make(map[string]int, len(tenants.ids))
+	for _, id := range tenants.ids {
+		weights[id] = tenants.byID[id].weight()
+	}
+	d := &dispatcher{
+		slots:   slots,
+		tenants: tenants,
+		picker:  newWRRPicker(weights),
+		queues:  make(map[string][]*waiter),
+		running: make(map[string]int),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	go d.loop(ctx)
+	// Wake the loop out of its cond wait at shutdown.
+	go func() {
+		<-ctx.Done()
+		d.mu.Lock()
+		d.stopped = true
+		d.mu.Unlock()
+		d.cond.Broadcast()
+	}()
+	return d
+}
+
+// eligibleLocked reports whether tenant id can be granted a slot right
+// now: a waiter is queued and the tenant is under its concurrency cap.
+func (d *dispatcher) eligibleLocked(id string) bool {
+	if len(d.queues[id]) == 0 {
+		return false
+	}
+	if st := d.tenants.byID[id]; st != nil && st.cfg.MaxConcurrentJobs > 0 &&
+		d.running[id] >= st.cfg.MaxConcurrentJobs {
+		return false
+	}
+	return true
+}
+
+// loop is the dispatch goroutine: claim one slot, hand it to the next
+// WRR-chosen waiter, repeat. Holding the claimed slot while no waiter is
+// eligible is deliberate — nothing else consumes slots in tenant mode.
+func (d *dispatcher) loop(ctx context.Context) {
+	for {
+		select {
+		case d.slots <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		d.mu.Lock()
+		var w *waiter
+		for {
+			if d.stopped {
+				d.mu.Unlock()
+				<-d.slots
+				return
+			}
+			id := d.picker.pick(d.eligibleLocked)
+			if id != "" {
+				q := d.queues[id]
+				w, d.queues[id] = q[0], q[1:]
+				if len(d.queues[id]) == 0 {
+					delete(d.queues, id)
+				}
+				d.running[id]++
+				w.granted = true
+				break
+			}
+			d.cond.Wait()
+		}
+		d.mu.Unlock()
+		if st := d.tenants.byID[w.tenant]; st != nil {
+			st.dispatched.Add(1)
+		}
+		w.grant <- struct{}{}
+	}
+}
+
+// enqueue appends a waiter to its tenant's queue and nudges the loop.
+func (d *dispatcher) enqueue(w *waiter) {
+	d.mu.Lock()
+	if _, ok := d.picker.byID[w.tenant]; !ok {
+		// A recovered job whose tenant left the tenants file still has to
+		// drain; give it the default weight.
+		d.picker.add(w.tenant, 1)
+	}
+	d.queues[w.tenant] = append(d.queues[w.tenant], w)
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// abandon withdraws a cancelled waiter. If the grant raced in first, the
+// waiter owns a slot it will never use — consume and release it here.
+func (d *dispatcher) abandon(w *waiter) {
+	d.mu.Lock()
+	if w.granted {
+		d.mu.Unlock()
+		<-w.grant
+		d.release(w.tenant)
+		return
+	}
+	q := d.queues[w.tenant]
+	for i, qw := range q {
+		if qw == w {
+			copy(q[i:], q[i+1:])
+			q = q[:len(q)-1]
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(d.queues, w.tenant)
+	} else {
+		d.queues[w.tenant] = q
+	}
+	d.mu.Unlock()
+}
+
+// release returns a granted slot and the tenant's running credit, waking
+// the loop in case the tenant's cap was the blocker.
+func (d *dispatcher) release(tenant string) {
+	d.mu.Lock()
+	if d.running[tenant] > 0 {
+		d.running[tenant]--
+		if d.running[tenant] == 0 {
+			delete(d.running, tenant)
+		}
+	}
+	d.mu.Unlock()
+	<-d.slots
+	d.cond.Broadcast()
+}
+
+// queueDepths snapshots per-tenant queued and running counts for /stats
+// and the dashboard.
+func (d *dispatcher) queueDepths() map[string][2]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string][2]int, len(d.queues)+len(d.running))
+	for id, q := range d.queues {
+		out[id] = [2]int{len(q), d.running[id]}
+	}
+	for id, r := range d.running {
+		if _, ok := out[id]; !ok {
+			out[id] = [2]int{0, r}
+		}
+	}
+	return out
+}
+
+// admit blocks until the job may run, honoring cancellation. The caller
+// must pair a nil return with releaseSlot. Single-tenant servers keep
+// the original direct semaphore path, byte-for-byte.
+func (s *Server) admit(ctx context.Context, tenant string) error {
+	if s.dispatch == nil {
+		select {
+		case s.slots <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	w := &waiter{tenant: tenant, grant: make(chan struct{}, 1)}
+	s.dispatch.enqueue(w)
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		s.dispatch.abandon(w)
+		return ctx.Err()
+	}
+}
+
+// releaseSlot returns the admission slot acquired by admit.
+func (s *Server) releaseSlot(tenant string) {
+	if s.dispatch == nil {
+		<-s.slots
+		return
+	}
+	s.dispatch.release(tenant)
+}

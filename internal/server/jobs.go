@@ -61,6 +61,10 @@ type JobView struct {
 	// Recovered marks a job restored from the journal after a restart —
 	// either rehydrated terminal state or a re-queued in-flight job.
 	Recovered bool `json:"recovered,omitempty"`
+	// Tenant is the owning tenant in multi-tenant mode (empty otherwise).
+	// Listings are already scoped to the caller, so this is confirmation,
+	// not disclosure.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // job is one asynchronous anonymization request being tracked by the
@@ -73,6 +77,9 @@ type job struct {
 	cancel    context.CancelFunc
 	js        *jobStore
 	recovered bool
+	// tenant owns the job in multi-tenant mode ("" single-tenant).
+	// Immutable after creation; journaled so ownership survives restart.
+	tenant string
 	// trace records the job's lifecycle span tree. Set at submission (and
 	// for re-queued recovered jobs); nil for terminal jobs rehydrated from
 	// the journal, whose trace is served from the store's trace blobs.
@@ -111,6 +118,7 @@ func (j *job) view() JobView {
 		Error:       j.err,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 		Recovered:   j.recovered,
+		Tenant:      j.tenant,
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -329,23 +337,31 @@ func (s *jobStore) journal(fn func(*store.Journal) error) {
 	}
 }
 
-// add registers a new job, atomically rejecting it (nil) when the number
-// of non-terminal jobs has reached maxPending — the check happens under
-// the store lock so concurrent submissions cannot overshoot the cap. body
-// and datasetRef are journaled so a crash can re-queue the job.
-func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int, body []byte, datasetRef string) *job {
+// add registers a new job, atomically rejecting it when the number of
+// non-terminal jobs has reached maxPending (reject == "server") or, in
+// multi-tenant mode, when the owning tenant is at tenantPending
+// (reject == "tenant") — both checks happen under the store lock so
+// concurrent submissions cannot overshoot either cap. body and
+// datasetRef are journaled, with the tenant, so a crash can re-queue the
+// job with ownership intact.
+func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int, body []byte, datasetRef, tenant string, tenantPending int) (j *job, reject string) {
 	s.mu.Lock()
 	if maxPending > 0 && s.pendingLocked() >= maxPending {
 		s.mu.Unlock()
-		return nil
+		return nil, "server"
+	}
+	if tenant != "" && tenantPending > 0 && s.pendingTenantLocked(tenant) >= tenantPending {
+		s.mu.Unlock()
+		return nil, "tenant"
 	}
 	s.seq++
-	j := &job{
+	j = &job{
 		id:        fmt.Sprintf("j-%06d", s.seq),
 		seq:       s.seq,
 		kind:      kind,
 		cancel:    cancel,
 		js:        s,
+		tenant:    tenant,
 		status:    StatusQueued,
 		submitted: time.Now(),
 	}
@@ -364,10 +380,11 @@ func (s *jobStore) add(kind string, cancel context.CancelFunc, maxPending int, b
 		return jl.Submit(store.JobRecord{
 			ID: j.id, Seq: j.seq, Kind: kind, Status: string(StatusQueued),
 			DatasetRef: datasetRef, Body: body, SubmittedAt: j.submitted,
+			Tenant: tenant,
 		})
 	})
 	s.dropDurable(evicted)
-	return j
+	return j, ""
 }
 
 // restore re-inserts a job from its journal record during recovery: a
@@ -383,6 +400,7 @@ func (s *jobStore) restore(rec store.JobRecord, load func() (*jobResult, error),
 		cancel:    cancel,
 		js:        s,
 		recovered: true,
+		tenant:    rec.Tenant,
 		status:    status,
 		err:       rec.Error,
 		load:      load,
@@ -441,18 +459,9 @@ func (s *jobStore) evictLocked() []string {
 	if s.max <= 0 || len(s.jobs) <= s.max {
 		return nil
 	}
-	var terminal []*job
-	for _, j := range s.jobs {
-		j.mu.Lock()
-		done := j.status.Terminal()
-		j.mu.Unlock()
-		if done {
-			terminal = append(terminal, j)
-		}
-	}
 	// Oldest first by numeric submission order — IDs are zero-padded for
 	// display and would misorder lexicographically past the padding width.
-	sort.Slice(terminal, func(a, b int) bool { return terminal[a].seq < terminal[b].seq })
+	terminal := s.terminalOldestLocked()
 	var evicted []string
 	for _, j := range terminal {
 		if len(s.jobs) <= s.max {
@@ -488,6 +497,15 @@ type jobQuery struct {
 	state    Status // "" matches every state
 	afterSeq int    // only jobs submitted after this sequence number
 	limit    int    // <= 0: unlimited
+	// tenant scopes the listing to one tenant's jobs. Enforced before
+	// pagination, so an `after=` cursor naming another tenant's job ID
+	// cannot surface foreign jobs — the cursor is just a sequence
+	// watermark and the tenant filter still applies to every row.
+	tenant string
+	// tenantScoped turns the tenant filter on even for tenant == "" (it
+	// cannot be inferred from tenant alone: single-tenant mode matches
+	// everything, multi-tenant mode must match nothing for an empty owner).
+	tenantScoped bool
 }
 
 // list returns the matching jobs in submission order (paginated by the
@@ -502,6 +520,9 @@ func (s *jobStore) list(q jobQuery) (views []JobView, total int) {
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
 	views = []JobView{}
 	for _, j := range jobs {
+		if q.tenantScoped && j.tenant != q.tenant {
+			continue
+		}
 		v := j.view()
 		if q.state != "" && v.Status != q.state {
 			continue
@@ -548,6 +569,23 @@ func (s *jobStore) pendingLocked() int {
 	return n
 }
 
+// pendingTenantLocked counts one tenant's non-terminal jobs; the caller
+// holds s.mu.
+func (s *jobStore) pendingTenantLocked(tenant string) int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.tenant != tenant {
+			continue
+		}
+		j.mu.Lock()
+		if !j.status.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
 func (s *jobStore) counts() map[Status]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -558,4 +596,65 @@ func (s *jobStore) counts() map[Status]int {
 		j.mu.Unlock()
 	}
 	return out
+}
+
+// countsByTenant reports per-tenant job-state counts — the figure behind
+// the tenant-labelled job gauges on /metrics and the tenants block of
+// /stats. Jobs with no owner (single-tenant era, or a tenant removed
+// from the tenants file) land under "".
+func (s *jobStore) countsByTenant() map[string]map[Status]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[Status]int)
+	for _, j := range s.jobs {
+		m := out[j.tenant]
+		if m == nil {
+			m = make(map[Status]int)
+			out[j.tenant] = m
+		}
+		j.mu.Lock()
+		m[j.status]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// terminalOldestLocked lists terminal jobs oldest-first (by submission
+// sequence); the caller holds s.mu. The GC sweeper walks this order when
+// -data-max-bytes forces result eviction.
+func (s *jobStore) terminalOldestLocked() []*job {
+	var terminal []*job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		done := j.status.Terminal()
+		j.mu.Unlock()
+		if done {
+			terminal = append(terminal, j)
+		}
+	}
+	sort.Slice(terminal, func(a, b int) bool { return terminal[a].seq < terminal[b].seq })
+	return terminal
+}
+
+// evictOldestTerminal removes up to n of the oldest terminal jobs
+// (journal record, result and trace blobs included) and returns their
+// IDs. Queued and running jobs are never touched — the GC lever for
+// reclaiming result bytes without risking in-flight state.
+func (s *jobStore) evictOldestTerminal(n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	terminal := s.terminalOldestLocked()
+	if len(terminal) > n {
+		terminal = terminal[:n]
+	}
+	ids := make([]string, 0, len(terminal))
+	for _, j := range terminal {
+		delete(s.jobs, j.id)
+		ids = append(ids, j.id)
+	}
+	s.mu.Unlock()
+	s.dropDurable(ids)
+	return ids
 }

@@ -188,6 +188,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.sample("", nil, float64(d.Probes))
 	}
 
+	if s.tenants != nil {
+		views := s.tenants.views(s.jobs.countsByTenant())
+		p.start("secreta_tenant_jobs", "gauge", "Jobs in the job table by tenant and state.")
+		for _, tv := range views {
+			for _, st := range jobStates {
+				p.sample("", [][2]string{{"tenant", tv.ID}, {"state", string(st)}}, float64(tv.JobsByState[st]))
+			}
+		}
+		p.start("secreta_tenant_stored_bytes", "gauge", "Dataset bytes claimed by each tenant (the stored-bytes quota unit).")
+		for _, tv := range views {
+			p.sample("", [][2]string{{"tenant", tv.ID}}, float64(tv.StoredBytes))
+		}
+		p.start("secreta_tenant_weight", "gauge", "Weighted round-robin dispatch weight per tenant.")
+		for _, tv := range views {
+			p.sample("", [][2]string{{"tenant", tv.ID}}, float64(tv.Weight))
+		}
+		p.start("secreta_tenant_rate_limited_total", "counter", "POSTs answered 429 by the tenant's token bucket.")
+		for _, tv := range views {
+			p.sample("", [][2]string{{"tenant", tv.ID}}, float64(tv.RateLimitedTotal))
+		}
+		p.start("secreta_tenant_quota_rejects_total", "counter", "Requests rejected by a tenant quota (stored bytes or pending jobs).")
+		for _, tv := range views {
+			p.sample("", [][2]string{{"tenant", tv.ID}}, float64(tv.QuotaRejectsTotal))
+		}
+		p.start("secreta_tenant_dispatched_total", "counter", "Job slots granted to each tenant by the round-robin dispatcher.")
+		for _, tv := range views {
+			p.sample("", [][2]string{{"tenant", tv.ID}}, float64(tv.DispatchedTotal))
+		}
+	}
+
+	if s.gc != nil {
+		g := s.gc.view()
+		p.start("secreta_gc_max_bytes", "gauge", "Configured data-directory byte cap (-data-max-bytes).")
+		p.sample("", nil, float64(g.MaxBytes))
+		p.start("secreta_gc_usage_bytes", "gauge", "Data-directory bytes measured by the last retention sweep.")
+		p.sample("", nil, float64(g.UsageBytes))
+		p.start("secreta_gc_sweeps_total", "counter", "Retention sweeps run.")
+		p.sample("", nil, float64(g.Sweeps))
+		p.start("secreta_gc_evicted_jobs_total", "counter", "Terminal jobs evicted (with results and traces) by retention sweeps.")
+		p.sample("", nil, float64(g.EvictedJobs))
+		p.start("secreta_gc_evicted_datasets_total", "counter", "Unreferenced dataset blobs evicted by retention sweeps.")
+		p.sample("", nil, float64(g.EvictedDatasets))
+		p.start("secreta_gc_cache_trimmed_total", "counter", "Disk cache entries dropped by retention sweeps.")
+		p.sample("", nil, float64(g.CacheTrimmed))
+		p.start("secreta_gc_errors_total", "counter", "Evictions that failed (stuck files skipped, never wedging the sweep).")
+		p.sample("", nil, float64(g.Errors))
+	}
+
 	p.start("secreta_ready", "gauge", "1 once journal replay has completed and traffic is admitted.")
 	ready := 0.0
 	if s.ready.Load() {

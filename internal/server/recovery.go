@@ -51,6 +51,14 @@ type recoveryInfo struct {
 	// OrphansSwept counts the ".tmp-*" files store.Open removed — the
 	// debris of atomic writes interrupted by the previous crash.
 	OrphansSwept int `json:"orphans_swept"`
+	// OrphanBlobsSwept counts committed result/trace blobs whose job
+	// record is gone — a crash between a deletion's journal append and
+	// its blob removal leaves these behind; recovery finishes the job so
+	// no sweep double-deletes and no blob leaks.
+	OrphanBlobsSwept int `json:"orphan_blobs_swept"`
+	// RestoredClaims counts journaled tenant dataset claims rebuilt into
+	// the in-RAM ownership table (multi-tenant mode only).
+	RestoredClaims int `json:"restored_claims,omitempty"`
 }
 
 // loadResult rehydrates a terminal job's result from disk: a chunked
@@ -89,6 +97,7 @@ func (s *Server) loadResult(id string) (*jobResult, error) {
 func (s *Server) recover() {
 	start := time.Now()
 	var info recoveryInfo
+	info.RestoredClaims = s.restoreClaims()
 	for _, rec := range s.st.Journal.Jobs() {
 		if Status(rec.Status).Terminal() {
 			var load func() (*jobResult, error)
@@ -115,7 +124,11 @@ func (s *Server) recover() {
 		// index, so the pin loads it from disk on demand).
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		j := s.jobs.restore(rec, nil, cancel)
-		p, err := s.prepareJob(rec.Kind, rec.Body)
+		// Ownership was checked at original submission; recovery must not
+		// re-check it (the claim table is already restored, and failing a
+		// re-queue over a racing delete would lose work), so no owner is
+		// passed.
+		p, err := s.prepareJob(rec.Kind, rec.Body, "")
 		if err != nil {
 			cancel()
 			j.finish(nil, fmt.Errorf("re-queueing after restart: %w", err), nil, false)
@@ -125,6 +138,7 @@ func (s *Server) recover() {
 		info.RequeuedJobs++
 		go s.runJob(ctx, cancel, j, p)
 	}
+	info.OrphanBlobsSwept = s.sweepOrphanBlobs()
 	info.DurationSec = time.Since(start).Seconds()
 	info.OrphansSwept = s.st.OrphansSwept()
 	info.Done = true
@@ -134,6 +148,8 @@ func (s *Server) recover() {
 	s.ready.Store(true)
 	js := s.st.Journal.Stats()
 	s.log().Info("recovery complete",
+		"orphan_blobs_swept", info.OrphanBlobsSwept,
+		"restored_claims", info.RestoredClaims,
 		"duration_s", info.DurationSec,
 		"restored_jobs", info.RestoredJobs,
 		"requeued_jobs", info.RequeuedJobs,
@@ -142,4 +158,60 @@ func (s *Server) recover() {
 		"wal_records", js.Replay.WALRecords,
 		"torn_tail", js.Replay.TornTail,
 	)
+}
+
+// restoreClaims rebuilds the tenant dataset-ownership table from the
+// journal's claim records. A claim whose dataset blob no longer exists
+// (crash between a blob's removal and its release records, or a removed
+// tenant) is dropped — and its journal record released — rather than
+// charging a tenant for bytes that are not on disk.
+func (s *Server) restoreClaims() int {
+	if s.tenants == nil {
+		return 0
+	}
+	restored := 0
+	for _, c := range s.st.Journal.DatasetClaims() {
+		if _, err := s.registry.Describe(c.Ref); err != nil {
+			if rerr := s.st.Journal.ReleaseDataset(c.Ref, c.Tenant); rerr != nil {
+				s.log().Warn("releasing stale dataset claim failed",
+					"dataset", c.Ref, "tenant", c.Tenant, "err", rerr)
+			}
+			continue
+		}
+		s.tenants.restoreClaim(c)
+		restored++
+	}
+	return restored
+}
+
+// sweepOrphanBlobs removes committed result, stream and trace blobs
+// whose job is absent from the restored job table — the leftovers of a
+// deletion (GC eviction, explicit DELETE, retention) that crashed after
+// its journal append but before the blob unlink. Running after the job
+// table is rebuilt makes the sweep idempotent: a blob either has a live
+// record (kept) or none (deleted once, here).
+func (s *Server) sweepOrphanBlobs() int {
+	swept := 0
+	sweepNames := func(names []string, del func(string) error, kind string) {
+		for _, id := range names {
+			if s.jobs.get(id) != nil {
+				continue
+			}
+			if err := del(id); err != nil {
+				s.log().Warn("sweeping orphan blob failed", "kind", kind, "job_id", id, "err", err)
+				continue
+			}
+			swept++
+		}
+	}
+	if names, err := s.st.Results.Names(); err == nil {
+		sweepNames(names, s.st.Results.Delete, "result")
+	}
+	if names, err := s.st.ResultChunks.Names(); err == nil {
+		sweepNames(names, s.st.ResultChunks.Delete, "result_stream")
+	}
+	if names, err := s.st.Traces.Names(); err == nil {
+		sweepNames(names, s.st.Traces.Delete, "trace")
+	}
+	return swept
 }

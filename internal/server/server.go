@@ -93,6 +93,24 @@ type Options struct {
 	// while the server is in degraded read-only mode (<= 0:
 	// DefaultDegradedProbeInterval). See degraded.go.
 	DegradedProbeInterval time.Duration
+	// Tenants, when non-empty, turns on multi-tenant mode: every data
+	// route requires one of the configured API keys, resources are scoped
+	// to their owning tenant, per-tenant rate limits and quotas gate
+	// admission, and job slots are shared by weighted round-robin (see
+	// tenant.go / dispatch.go). Empty keeps today's single-tenant
+	// behavior exactly.
+	Tenants []TenantConfig
+	// Now, when set, replaces time.Now for the tenant rate buckets and
+	// the GC sweeper's clock — injectable so tests control time.
+	Now func() time.Time
+	// DataMaxBytes, with a Store, caps the data directory's total bytes:
+	// a background sweeper evicts the disk cache, then the oldest
+	// unpinned terminal jobs, then unreferenced dataset blobs until the
+	// directory fits (see gc.go). 0 disables GC.
+	DataMaxBytes int64
+	// GCInterval is the sweeper's cadence (<= 0: 30s). Job completions
+	// additionally nudge the sweeper out of cycle.
+	GCInterval time.Duration
 	// Logger receives the server's structured logs (nil: slog.Default()).
 	Logger *slog.Logger
 }
@@ -139,6 +157,13 @@ type Server struct {
 		served      atomic.Uint64
 		disconnects atomic.Uint64
 	}
+	// tenants is the multi-tenant table (nil: single-tenant mode; see
+	// tenant.go). dispatch shares the job slots across tenants by
+	// weighted round-robin (nil exactly when tenants is nil). gc is the
+	// disk retention sweeper (nil unless durable with DataMaxBytes set).
+	tenants  *tenantSet
+	dispatch *dispatcher
+	gc       *gcState
 	// slots is the admission semaphore: a job must hold a slot to run.
 	slots chan struct{}
 	// uploadSlots bounds concurrent POST /datasets decodes. Uploads don't
@@ -230,6 +255,17 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	s.mux.HandleFunc("GET /dashboard/data", s.handleDashboardData)
 	s.jobs.logger = opts.Logger
+	if len(opts.Tenants) > 0 {
+		if err := ValidateTenants(opts.Tenants); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.tenants = newTenantSet(opts.Tenants, opts.Now)
+		s.dispatch = newDispatcher(ctx, s.slots, s.tenants)
+	}
+	if opts.DataMaxBytes > 0 && s.st != nil {
+		s.gc = newGCState(opts.DataMaxBytes, opts.GCInterval, opts.Now)
+		go s.gcLoop(ctx)
+	}
 	if s.st == nil {
 		s.ready.Store(true)
 	} else {
@@ -255,9 +291,11 @@ func (s *Server) log() *slog.Logger {
 
 // Handler returns the routed HTTP handler, wrapped in the readiness
 // gate: while journal replay runs, only /healthz is served — admitting a
-// job before its predecessors are re-queued would reorder history. A
-// second gate holds POST routes while the server is in degraded
-// read-only mode (see degraded.go); reads keep flowing.
+// job before its predecessors are re-queued would reorder history. In
+// multi-tenant mode the API-key gate resolves the caller's tenant next
+// (401 without a valid key) and the per-tenant token bucket meters POSTs
+// (429 + Retry-After). A final gate holds POST routes while the server
+// is in degraded read-only mode (see degraded.go); reads keep flowing.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() && r.URL.Path != "/healthz" {
@@ -266,6 +304,15 @@ func (s *Server) Handler() http.Handler {
 				"error": "server is replaying its journal; retry shortly",
 				"ready": false,
 			})
+			return
+		}
+		r, done := s.authGate(w, r)
+		if done {
+			return
+		}
+		// Only POSTs spend tokens: pollers watching job status must not be
+		// throttled into missing their own completions.
+		if r.Method == http.MethodPost && s.rateGate(w, r) {
 			return
 		}
 		if s.gateWrite(w, r) {
@@ -444,7 +491,12 @@ func decodeDataset(raw json.RawMessage) (*dataset.Dataset, error) {
 // called when the job finishes or the submission is rejected. Inline
 // payloads decode lazily inside the job, under admission control, so
 // unadmitted requests cannot spend decode CPU.
-func (s *Server) resolveDataset(raw json.RawMessage, ref string) (load func() (*dataset.Dataset, error), release func(), err error) {
+//
+// owner, when non-empty (multi-tenant submissions), requires the caller's
+// tenant to have claimed the ref: another tenant's dataset — even one
+// whose content fingerprint the caller guessed — answers the same
+// not-found error as a ref that never existed.
+func (s *Server) resolveDataset(raw json.RawMessage, ref, owner string) (load func() (*dataset.Dataset, error), release func(), err error) {
 	inline := hasDataset(raw)
 	switch {
 	case inline && ref != "":
@@ -453,6 +505,9 @@ func (s *Server) resolveDataset(raw json.RawMessage, ref string) (load func() (*
 		return nil, nil, fmt.Errorf("request has no dataset (inline dataset or dataset_ref required)")
 	case inline:
 		return func() (*dataset.Dataset, error) { return decodeDataset(raw) }, func() {}, nil
+	}
+	if owner != "" && !s.tenants.owns(ref, owner) {
+		return nil, nil, fmt.Errorf("%w: %q", registry.ErrNotFound, ref)
 	}
 	return s.registry.PinLazy(ref)
 }
@@ -517,27 +572,27 @@ func decodeStrict(data []byte, dst any) error {
 // parse errors, config validation, the dataset pin — which is exactly
 // what makes journaled bodies re-queueable: recovery calls prepareJob
 // again and gets a fresh pin and a fresh closure.
-func (s *Server) prepareJob(kind string, body []byte) (*preparedJob, error) {
+func (s *Server) prepareJob(kind string, body []byte, owner string) (*preparedJob, error) {
 	switch kind {
 	case "anonymize", "evaluate":
 		var req AnonymizeRequest
 		if err := decodeStrict(body, &req); err != nil {
 			return nil, err
 		}
-		return s.prepareSingle(kind, &req)
+		return s.prepareSingle(kind, &req, owner)
 	case "compare":
 		var req CompareRequest
 		if err := decodeStrict(body, &req); err != nil {
 			return nil, err
 		}
-		return s.prepareCompare(&req)
+		return s.prepareCompare(&req, owner)
 	}
 	return nil, fmt.Errorf("unknown job kind %q", kind)
 }
 
 // prepareSingle builds anonymize and evaluate jobs (the latter optionally
 // a sweep).
-func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob, error) {
+func (s *Server) prepareSingle(kind string, req *AnonymizeRequest, owner string) (*preparedJob, error) {
 	if kind == "anonymize" && req.Sweep != nil {
 		// Reject rather than silently running the base config once.
 		return nil, fmt.Errorf("sweep is not supported by /anonymize; use /evaluate")
@@ -555,7 +610,7 @@ func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob
 		if err := sweep.Validate(); err != nil {
 			return nil, err
 		}
-		load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+		load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef, owner)
 		if err != nil {
 			return nil, err
 		}
@@ -575,7 +630,7 @@ func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob
 		}
 		return &preparedJob{fn: fn, release: release, timeout: s.effectiveTimeout(req.TimeoutMS), datasetRef: req.DatasetRef}, nil
 	}
-	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef, owner)
 	if err != nil {
 		return nil, err
 	}
@@ -602,7 +657,7 @@ func (s *Server) prepareSingle(kind string, req *AnonymizeRequest) (*preparedJob
 	return &preparedJob{fn: fn, release: release, timeout: s.effectiveTimeout(req.TimeoutMS), datasetRef: req.DatasetRef}, nil
 }
 
-func (s *Server) prepareCompare(req *CompareRequest) (*preparedJob, error) {
+func (s *Server) prepareCompare(req *CompareRequest, owner string) (*preparedJob, error) {
 	if len(req.Configs) == 0 {
 		return nil, fmt.Errorf("compare request has no configs")
 	}
@@ -626,7 +681,7 @@ func (s *Server) prepareCompare(req *CompareRequest) (*preparedJob, error) {
 	if err := sweep.Validate(); err != nil {
 		return nil, err
 	}
-	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef)
+	load, release, err := s.resolveDataset(req.Dataset, req.DatasetRef, owner)
 	if err != nil {
 		return nil, err
 	}
@@ -744,12 +799,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind strin
 	if !ok {
 		return
 	}
-	p, err := s.prepareJob(kind, body)
+	tenant := reqTenant(r)
+	p, err := s.prepareJob(kind, body, tenant)
 	if err != nil {
 		s.datasetError(w, err)
 		return
 	}
-	s.submit(w, kind, body, p)
+	s.submit(w, kind, body, p, tenant)
 }
 
 // handleDatasetUpload stores the posted dataset — the same JSON format the
@@ -781,10 +837,34 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("decoding dataset: %w", err))
 		return
 	}
+	if tst := s.tenantState(r); tst != nil {
+		// Stored-bytes quota, checked before the write. A re-upload of a
+		// ref the tenant already claims is free (content-addressed: same
+		// bytes, same claim). The check-then-claim window means two racing
+		// novel uploads can overshoot by one dataset — the quota is an
+		// admission bound, not an accounting ledger.
+		cost := ds.ApproxBytes()
+		if tst.cfg.MaxStoredBytes > 0 && !s.tenants.owns(ds.Fingerprint(), tst.cfg.ID) &&
+			tst.storedBytes.Load()+cost > tst.cfg.MaxStoredBytes {
+			tst.rejected.Add(1)
+			quotaReject(w, http.StatusForbidden, "quota_stored_bytes",
+				fmt.Sprintf("tenant %q would exceed its stored-bytes quota (%d of %d bytes used, upload is %d)",
+					tst.cfg.ID, tst.storedBytes.Load(), tst.cfg.MaxStoredBytes, cost))
+			return
+		}
+	}
 	id, created, err := s.registry.Add(ds)
 	if err != nil {
 		s.datasetError(w, err)
 		return
+	}
+	if tenant := reqTenant(r); tenant != "" {
+		// Ownership is a claim on the content-addressed blob: tenants
+		// uploading identical bytes share one blob, each holding its own
+		// journaled claim. The blob is GC-eligible only when unclaimed.
+		if s.tenants.claim(id, tenant, ds.ApproxBytes()) {
+			s.journalClaim(id, tenant, ds.ApproxBytes())
+		}
 	}
 	code := http.StatusOK
 	if created {
@@ -799,8 +879,20 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 	infos := s.registry.List()
+	if s.tenants != nil {
+		// Only refs the caller's tenant has claimed — sharing a blob with
+		// another tenant is invisible from either side.
+		tenant := reqTenant(r)
+		scoped := infos[:0]
+		for _, info := range infos {
+			if s.tenants.owns(info.ID, tenant) {
+				scoped = append(scoped, info)
+			}
+		}
+		infos = scoped
+	}
 	if infos == nil {
 		infos = []registry.Info{}
 	}
@@ -808,7 +900,14 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
-	info, err := s.registry.Describe(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.tenants != nil && !s.tenants.owns(id, reqTenant(r)) {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": fmt.Sprintf("%v: %q", registry.ErrNotFound, id),
+		})
+		return
+	}
+	info, err := s.registry.Describe(id)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
 		return
@@ -818,9 +917,37 @@ func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 
 // handleDatasetDelete evicts a dataset explicitly (from disk too, when
 // durable). A dataset pinned by a running job cannot be deleted; the
-// client gets 409 and may retry after the job finishes.
+// client gets 409 and may retry after the job finishes. In multi-tenant
+// mode the delete releases the caller's claim; the shared blob is only
+// removed once no tenant claims it, and a ref the caller never claimed
+// answers 404 exactly like one that never existed.
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.tenants != nil {
+		tenant := reqTenant(r)
+		if !s.tenants.owns(id, tenant) {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": fmt.Sprintf("%v: %q", registry.ErrNotFound, id),
+			})
+			return
+		}
+		_, last := s.tenants.release(id, tenant)
+		if last {
+			if err := s.registry.Remove(id); errors.Is(err, registry.ErrPinned) {
+				// The caller's own running job holds the blob (no other
+				// tenant claims it, and unclaimed refs are unusable in new
+				// submissions). Undo the release and report the conflict.
+				s.tenants.claim(id, tenant, datasetClaimBytes(s.registry, id))
+				writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+				return
+			} else if err != nil && !errors.Is(err, registry.ErrNotFound) {
+				s.log().Warn("deleting dataset blob failed", "dataset", id, "err", err)
+			}
+		}
+		s.journalRelease(id, tenant)
+		writeJSON(w, http.StatusOK, map[string]any{"dataset_ref": id, "deleted": true})
+		return
+	}
 	switch err := s.registry.Remove(id); {
 	case errors.Is(err, registry.ErrNotFound):
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
@@ -831,6 +958,15 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"dataset_ref": id, "deleted": true})
 	}
+}
+
+// datasetClaimBytes recovers the claim size when a release has to be
+// undone (Describe still answers for a pinned dataset).
+func datasetClaimBytes(reg *registry.Registry, id string) int64 {
+	if info, err := reg.Describe(id); err == nil {
+		return info.Bytes
+	}
+	return 0
 }
 
 // handleJobList supports ?state= (one lifecycle state), ?limit= (max
@@ -865,12 +1001,32 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		}
 		q.afterSeq = seq
 	}
+	if s.tenants != nil {
+		// The cursor is just a sequence watermark; the tenant filter still
+		// applies to every row, so `after=` cannot leak foreign jobs.
+		q.tenant = reqTenant(r)
+		q.tenantScoped = true
+	}
 	views, total := s.jobs.list(q)
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "total": total})
 }
 
+// jobFor resolves a job ID to a job the request may see: in
+// multi-tenant mode another tenant's job is indistinguishable from a
+// missing one (nil here, 404 at the caller).
+func (s *Server) jobFor(r *http.Request, id string) *job {
+	j := s.jobs.get(id)
+	if j == nil {
+		return nil
+	}
+	if s.tenants != nil && j.tenant != reqTenant(r) {
+		return nil
+	}
+	return j
+}
+
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobFor(r, r.PathValue("id"))
 	if j == nil {
 		s.notFound(w, r.PathValue("id"))
 		return
@@ -885,7 +1041,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // from its persisted trace snapshot, so traces survive restart.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j := s.jobs.get(id)
+	j := s.jobFor(r, id)
 	if j == nil {
 		s.notFound(w, id)
 		return
@@ -918,7 +1074,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		s.handleJobResultStream(w, r)
 		return
 	}
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobFor(r, r.PathValue("id"))
 	if j == nil {
 		s.notFound(w, r.PathValue("id"))
 		return
@@ -960,7 +1116,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 // Client disconnects are detected via the request context between
 // batches, freeing the connection promptly without affecting the job.
 func (s *Server) handleJobResultStream(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobFor(r, r.PathValue("id"))
 	if j == nil {
 		s.notFound(w, r.PathValue("id"))
 		return
@@ -1081,7 +1237,7 @@ func acceptsNDJSON(r *http.Request) bool {
 // finished it deletes the record (and its retained result — durable copy
 // included) instead.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobFor(r, r.PathValue("id"))
 	if j == nil {
 		s.notFound(w, r.PathValue("id"))
 		return
@@ -1128,6 +1284,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out["recovery"] = s.recovery
 		s.recMu.Unlock()
 	}
+	if s.tenants != nil {
+		out["tenants"] = s.tenants.views(s.jobs.countsByTenant())
+	}
+	if s.gc != nil {
+		out["gc"] = s.gc.view()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -1136,15 +1298,30 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // submit registers a job, responds 202 with its ID, and runs it in the
 // background. Jobs wait in StatusQueued for an admission slot, so at most
 // MaxConcurrentJobs run at once regardless of the submission rate; past
-// MaxPendingJobs the request is rejected outright with 429. body is
-// journaled with the submission so a crash before completion can re-queue
-// the job.
-func (s *Server) submit(w http.ResponseWriter, kind string, body []byte, p *preparedJob) {
+// MaxPendingJobs the request is rejected outright with 429, as is a
+// tenant past its own pending-jobs quota (reason quota_pending_jobs).
+// body is journaled with the submission so a crash before completion can
+// re-queue the job.
+func (s *Server) submit(w http.ResponseWriter, kind string, body []byte, p *preparedJob, tenant string) {
+	tenantPending := 0
+	tst := (*tenantState)(nil)
+	if s.tenants != nil {
+		if tst = s.tenants.byID[tenant]; tst != nil {
+			tenantPending = tst.cfg.MaxPendingJobs
+		}
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := s.jobs.add(kind, cancel, s.opts.MaxPendingJobs, body, p.datasetRef)
+	j, reject := s.jobs.add(kind, cancel, s.opts.MaxPendingJobs, body, p.datasetRef, tenant, tenantPending)
 	if j == nil {
 		cancel()
 		p.release()
+		if reject == "tenant" {
+			tst.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			quotaReject(w, http.StatusTooManyRequests, "quota_pending_jobs",
+				fmt.Sprintf("tenant %q has %d jobs pending (its quota)", tenant, tenantPending))
+			return
+		}
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error": fmt.Sprintf("server saturated: %d jobs pending", s.opts.MaxPendingJobs),
 		})
@@ -1163,14 +1340,14 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	defer p.release()
 	defer cancel()
 	queueSpan := j.trace.Root().Start("queue_wait")
-	select {
-	case s.slots <- struct{}{}:
-		defer func() { <-s.slots }()
-	case <-ctx.Done():
+	// Admission: the shared semaphore directly (single-tenant) or the
+	// weighted round-robin dispatcher's per-tenant queue (multi-tenant).
+	if err := s.admit(ctx, j.tenant); err != nil {
 		queueSpan.End()
-		j.finish(nil, ctx.Err(), ctx.Err(), false)
+		j.finish(nil, err, err, false)
 		return
 	}
+	defer s.releaseSlot(j.tenant)
 	queueSpan.End()
 	// The slot race can admit a job whose context was cancelled while
 	// it queued; don't burn the slot on dataset decoding for it.
@@ -1250,6 +1427,9 @@ func (s *Server) finishJob(j *job, outcome *jobOutcome, err error, ctxErr error)
 		persistSpan.End()
 	}
 	j.finish(res, err, ctxErr, hasResult)
+	// Results just landed on disk; let the retention sweeper re-check the
+	// cap without waiting out its ticker.
+	s.gcKick()
 }
 
 // retainSource picks the in-RAM shape a terminal job keeps for replay:

@@ -91,8 +91,12 @@ func (s *DatasetStore) Load(id string) (*dataset.Dataset, error) {
 }
 
 // Delete removes the blob and its meta sidecar; missing files are fine.
+// A blob that fails to delete counts as a trim error (trim_errors on
+// /stats) — the retention sweeper skips stuck files rather than wedging,
+// and the counter is how an operator notices them.
 func (s *DatasetStore) Delete(id string) error {
 	if err := s.blobs.Delete(id); err != nil {
+		s.blobs.diag.trimError(s.blobs.dir, err)
 		return err
 	}
 	return s.metas.Delete(id)

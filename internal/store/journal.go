@@ -21,9 +21,13 @@ import (
 // request payload, kept only while the job is non-terminal so a crash can
 // re-queue it; terminal transitions drop it to keep snapshots small.
 type JobRecord struct {
-	ID          string          `json:"id"`
-	Seq         int             `json:"seq"`
-	Kind        string          `json:"kind"`
+	ID   string `json:"id"`
+	Seq  int    `json:"seq"`
+	Kind string `json:"kind"`
+	// Tenant is the owning tenant's ID when the server runs with API-key
+	// scoping; empty in single-tenant mode. Journaled so ownership (and
+	// with it cross-tenant 404s) survives a restart.
+	Tenant      string          `json:"tenant,omitempty"`
 	Status      string          `json:"status"`
 	Error       string          `json:"error,omitempty"`
 	DatasetRef  string          `json:"dataset_ref,omitempty"`
@@ -34,21 +38,37 @@ type JobRecord struct {
 	FinishedAt  time.Time       `json:"finished_at,omitempty"`
 }
 
+// DatasetClaim records one tenant's ownership of one dataset blob.
+// Datasets are content-addressed, so two tenants uploading identical
+// bytes share one blob under two claims; the blob is only eligible for
+// deletion once every claim is released. Bytes is the dataset's
+// approximate in-RAM size — the unit the per-tenant stored-bytes quota
+// accounts with.
+type DatasetClaim struct {
+	Ref    string `json:"ref"`
+	Tenant string `json:"tenant"`
+	Bytes  int64  `json:"bytes"`
+}
+
 // walOp is one journal record: a typed transition applied to the job
 // table. Ops are idempotent under replay — a snapshot that raced a crash
 // before WAL truncation replays cleanly over its own history.
 type walOp struct {
-	// Op is "submit", "start", "finish" or "delete".
+	// Op is "submit", "start", "finish", "delete", "dataset_claim" or
+	// "dataset_release".
 	Op string    `json:"op"`
 	At time.Time `json:"at"`
-	// Job carries the full record for "submit"; the other ops name an
-	// existing job by ID.
+	// Job carries the full record for "submit"; the other job ops name an
+	// existing job by ID. The dataset ops reuse ID for the dataset ref.
 	Job *JobRecord `json:"job,omitempty"`
 	ID  string     `json:"id,omitempty"`
 	// Status, Error and HasResult describe a "finish" transition.
 	Status    string `json:"status,omitempty"`
 	Error     string `json:"error,omitempty"`
 	HasResult bool   `json:"has_result,omitempty"`
+	// Tenant and Bytes describe a dataset claim/release.
+	Tenant string `json:"tenant,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
 }
 
 // StatusRunning is the one status string the journal itself writes: a
@@ -62,12 +82,17 @@ const StatusRunning = "running"
 // WAL is truncated after each durable snapshot. Open replays
 // snapshot+WAL, repairing a torn tail. Safe for concurrent use.
 type Journal struct {
-	mu            sync.Mutex
-	fsys          faultfs.FS
-	dir           string
-	f             faultfs.File
-	closed        bool
-	table         map[string]*JobRecord
+	mu     sync.Mutex
+	fsys   faultfs.FS
+	dir    string
+	f      faultfs.File
+	closed bool
+	table  map[string]*JobRecord
+	// claims is the durable dataset-ownership table: ref -> tenant ->
+	// approximate bytes. Empty in single-tenant mode (nothing ever
+	// claims), so the snapshot and WAL stay byte-compatible with
+	// pre-tenancy journals.
+	claims        map[string]map[string]int64
 	seq           int
 	appends       int // since the last snapshot
 	walRecords    int
@@ -89,11 +114,14 @@ type ReplayStats struct {
 	TornBytes int64 `json:"torn_bytes,omitempty"`
 }
 
-// snapshotFile is the JSON shape of journal/snapshot.json.
+// snapshotFile is the JSON shape of journal/snapshot.json. Datasets
+// (tenant ownership claims) is omitted when empty so single-tenant
+// snapshots keep their historical shape.
 type snapshotFile struct {
-	Seq     int         `json:"seq"`
-	TakenAt time.Time   `json:"taken_at"`
-	Jobs    []JobRecord `json:"jobs"`
+	Seq      int            `json:"seq"`
+	TakenAt  time.Time      `json:"taken_at"`
+	Jobs     []JobRecord    `json:"jobs"`
+	Datasets []DatasetClaim `json:"datasets,omitempty"`
 }
 
 const (
@@ -122,6 +150,7 @@ func openJournal(fsys faultfs.FS, dir string, snapshotEvery int) (*Journal, erro
 		fsys:          fsys,
 		dir:           dir,
 		table:         make(map[string]*JobRecord),
+		claims:        make(map[string]map[string]int64),
 		snapshotEvery: snapshotEvery,
 		lastSnapshot:  time.Now(),
 	}
@@ -136,6 +165,9 @@ func openJournal(fsys faultfs.FS, dir string, snapshotEvery int) (*Journal, erro
 			rec := snap.Jobs[i]
 			j.table[rec.ID] = &rec
 			j.replay.SnapshotJobs++
+		}
+		for _, c := range snap.Datasets {
+			j.claimLocked(c)
 		}
 	}
 	walPath := filepath.Join(dir, walFileName)
@@ -247,7 +279,31 @@ func (j *Journal) apply(op *walOp) {
 		rec.Body = nil
 	case "delete":
 		delete(j.table, op.ID)
+	case "dataset_claim":
+		j.claimLocked(DatasetClaim{Ref: op.ID, Tenant: op.Tenant, Bytes: op.Bytes})
+	case "dataset_release":
+		if tenants, ok := j.claims[op.ID]; ok {
+			delete(tenants, op.Tenant)
+			if len(tenants) == 0 {
+				delete(j.claims, op.ID)
+			}
+		}
 	}
+}
+
+// claimLocked folds one ownership claim into the claims table
+// (idempotent: re-claiming refreshes the byte figure). Caller holds j.mu
+// or is still single-threaded inside openJournal.
+func (j *Journal) claimLocked(c DatasetClaim) {
+	if c.Ref == "" || c.Tenant == "" {
+		return
+	}
+	tenants, ok := j.claims[c.Ref]
+	if !ok {
+		tenants = make(map[string]int64)
+		j.claims[c.Ref] = tenants
+	}
+	tenants[c.Tenant] = c.Bytes
 }
 
 // append journals one op: marshal, frame, fsync, fold into the table,
@@ -309,6 +365,40 @@ func (j *Journal) Delete(id string) error {
 	return j.append(&walOp{Op: "delete", At: time.Now(), ID: id})
 }
 
+// ClaimDataset journals one tenant's ownership of a dataset blob.
+// Idempotent per (ref, tenant).
+func (j *Journal) ClaimDataset(ref, tenant string, bytes int64) error {
+	return j.append(&walOp{Op: "dataset_claim", At: time.Now(), ID: ref, Tenant: tenant, Bytes: bytes})
+}
+
+// ReleaseDataset journals the removal of one tenant's claim (explicit
+// DELETE or GC eviction). Releasing a claim that does not exist is a
+// no-op under replay, like deleting a missing job.
+func (j *Journal) ReleaseDataset(ref, tenant string) error {
+	return j.append(&walOp{Op: "dataset_release", At: time.Now(), ID: ref, Tenant: tenant})
+}
+
+// DatasetClaims returns a copy of the ownership table, sorted by
+// (ref, tenant) for determinism — the server rebuilds its per-tenant
+// quota accounting from this at boot.
+func (j *Journal) DatasetClaims() []DatasetClaim {
+	j.mu.Lock()
+	var out []DatasetClaim
+	for ref, tenants := range j.claims {
+		for tenant, bytes := range tenants {
+			out = append(out, DatasetClaim{Ref: ref, Tenant: tenant, Bytes: bytes})
+		}
+	}
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Ref != out[b].Ref {
+			return out[a].Ref < out[b].Ref
+		}
+		return out[a].Tenant < out[b].Tenant
+	})
+	return out
+}
+
 // Jobs returns a copy of the job table sorted by submission order.
 func (j *Journal) Jobs() []JobRecord {
 	j.mu.Lock()
@@ -350,6 +440,17 @@ func (j *Journal) snapshotLocked() error {
 		snap.Jobs = append(snap.Jobs, *rec)
 	}
 	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].Seq < snap.Jobs[b].Seq })
+	for ref, tenants := range j.claims {
+		for tenant, bytes := range tenants {
+			snap.Datasets = append(snap.Datasets, DatasetClaim{Ref: ref, Tenant: tenant, Bytes: bytes})
+		}
+	}
+	sort.Slice(snap.Datasets, func(a, b int) bool {
+		if snap.Datasets[a].Ref != snap.Datasets[b].Ref {
+			return snap.Datasets[a].Ref < snap.Datasets[b].Ref
+		}
+		return snap.Datasets[a].Tenant < snap.Datasets[b].Tenant
+	})
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
